@@ -1,0 +1,72 @@
+"""Figure 6 — Ninja migration overhead on memtest vs array size.
+
+8 VMs (20 GB RAM each) run the sequential memtest over 2/4/8/16 GB
+arrays; one node-to-node IB→IB Ninja migration is measured and its
+overhead decomposed into migration / hotplug / link-up.
+
+Expected shape (paper Section IV-B2): migration time only weakly depends
+on the array size (uniform pages compress — the whole-RAM traversal
+dominates); hotplug is ≈ 3× the Table II value (migration noise);
+link-up is ≈ 28.5 s constant.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_fig6_memtest
+from repro.analysis.report import render_table
+from repro.units import GiB
+
+from benchmarks.conftest import run_once
+
+#: Paper's Figure 6 stacked bars [seconds] (as labelled in the figure).
+PAPER_FIG6 = {
+    2: {"migration": 53.7, "hotplug": 14.6, "linkup": 28.5},
+    4: {"migration": 35.9, "hotplug": 13.5, "linkup": 28.5},
+    8: {"migration": 38.7, "hotplug": 12.5, "linkup": 28.5},
+    16: {"migration": 44.2, "hotplug": 11.3, "linkup": 28.6},
+}
+
+
+@pytest.mark.parametrize("array_gib", [2, 4, 8, 16])
+def test_fig6_memtest_overhead(benchmark, record_result, array_gib):
+    result = run_once(
+        benchmark, lambda: run_fig6_memtest(array_gib * GiB, nvms=8)
+    )
+    b = result.breakdown
+    paper = PAPER_FIG6[array_gib]
+    table = render_table(
+        ["component", "paper [s]", "simulated [s]"],
+        [
+            ["migration", f"{paper['migration']:.1f}", f"{b.migration_s:.1f}"],
+            ["hotplug", f"{paper['hotplug']:.1f}", f"{b.hotplug_s:.1f}"],
+            ["linkup", f"{paper['linkup']:.1f}", f"{b.linkup_s:.1f}"],
+            ["total", f"{sum(paper.values()):.1f}", f"{b.total_s:.1f}"],
+        ],
+        title=f"Figure 6 — memtest {array_gib} GB array, Ninja overhead",
+    )
+    record_result(f"fig6_{array_gib}gb", table)
+    # Shape: migration in the paper's 30–60 s band; flat in array size.
+    assert 30.0 < b.migration_s < 60.0
+    # Hotplug ≈ 3× self-migration (the paper's "three times longer").
+    assert 8.0 < b.hotplug_s < 16.0
+    assert b.linkup_s == pytest.approx(28.5, abs=1.5)
+
+
+def test_fig6_migration_flat_in_array_size(benchmark, record_result):
+    """The defining property: memtest's migration time is roughly
+    constant across a 8× array-size sweep (uniform-page compression)."""
+
+    def sweep():
+        return {
+            gib: run_fig6_memtest(gib * GiB, nvms=2).breakdown.migration_s
+            for gib in (2, 16)
+        }
+
+    times = run_once(benchmark, sweep)
+    record_result(
+        "fig6_flatness",
+        f"Figure 6 flatness: migration(2GB)={times[2]:.1f}s "
+        f"migration(16GB)={times[16]:.1f}s ratio={times[16]/times[2]:.2f} "
+        f"(paper: 53.7s vs 44.2s, ratio 0.82)",
+    )
+    assert times[16] / times[2] < 1.3

@@ -1,0 +1,60 @@
+"""Table I — AGC cluster specifications.
+
+Regenerates the testbed-description table by instantiating the simulated
+cluster and reading the specs back from the built objects (not from the
+catalog constants), so the table reflects what experiments actually run
+on.
+"""
+
+from repro.analysis.report import render_table
+from repro.hardware.cluster import build_agc_cluster
+from repro.hardware.specs import AGC_ETH_SWITCH, AGC_IB_SWITCH
+from repro.units import GiB
+
+from benchmarks.conftest import run_once
+
+#: Table I as printed in the paper.
+PAPER_TABLE1 = {
+    "Node PC": "Dell PowerEdge M610",
+    "CPU": "Quad-core Intel Xeon E5540/2.53GHz x2",
+    "Chipset": "Intel 5520",
+    "Memory": "48 GB",
+    "Infiniband": "Mellanox ConnectX (MT26428)",
+    "10 GbE": "Broadcom NetXtreme II (BMC57711)",
+    "Switch IB": "Mellanox M3601Q",
+    "Switch 10GbE": "Dell M8024",
+}
+
+
+def _build_and_describe():
+    cluster = build_agc_cluster(ib_nodes=8, eth_nodes=8)
+    node = cluster.node("ib01")
+    return {
+        "Node PC": node.spec.model,
+        "CPU": node.spec.cpu_model,
+        "Chipset": node.spec.chipset,
+        "Memory": f"{int(node.free_memory // GiB)} GB",
+        "Infiniband": node.infiniband_hca().model,
+        "10 GbE": node.ethernet_nic().model,
+        "Switch IB": AGC_IB_SWITCH.model,
+        "Switch 10GbE": AGC_ETH_SWITCH.model,
+        "nodes": len(cluster.nodes),
+        "cores/node": node.cpu.cores,
+    }
+
+
+def test_table1_cluster_specifications(benchmark, record_result):
+    built = run_once(benchmark, _build_and_describe)
+    rows = [
+        [key, PAPER_TABLE1[key], str(built[key])]
+        for key in PAPER_TABLE1
+    ]
+    table = render_table(
+        ["item", "paper (Table I)", "simulated cluster"], rows,
+        title="Table I — AGC cluster specifications",
+    )
+    record_result("table1", table)
+    for key, expected in PAPER_TABLE1.items():
+        assert expected.split()[0] in str(built[key])
+    assert built["nodes"] == 16
+    assert built["cores/node"] == 8

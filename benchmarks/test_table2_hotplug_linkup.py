@@ -1,0 +1,44 @@
+"""Table II — elapsed time of hotplug and link-up (self-migration).
+
+8 VMs running the 2 GB memtest self-migrate under the four interconnect
+combinations; the table reports guest-visible hotplug and link-up time.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_table2_scenario
+from repro.analysis.report import render_table
+
+from benchmarks.conftest import run_once
+
+#: Paper's Table II, best of three runs [seconds].
+PAPER_TABLE2 = {
+    ("ib", "ib"): (3.88, 29.91),
+    ("ib", "eth"): (2.80, 0.00),
+    ("eth", "ib"): (1.15, 29.79),
+    ("eth", "eth"): (0.13, 0.00),
+}
+
+_LABEL = {"ib": "Infiniband", "eth": "Ethernet"}
+
+
+@pytest.mark.parametrize("src,dst", list(PAPER_TABLE2))
+def test_table2_scenario(benchmark, record_result, src, dst):
+    result = run_once(benchmark, lambda: run_table2_scenario(src, dst, nvms=8))
+    paper_hot, paper_link = PAPER_TABLE2[(src, dst)]
+    table = render_table(
+        ["scenario", "hotplug paper[s]", "hotplug sim[s]", "linkup paper[s]", "linkup sim[s]"],
+        [[
+            f"{_LABEL[src]} -> {_LABEL[dst]}",
+            f"{paper_hot:.2f}",
+            f"{result.hotplug_s:.2f}",
+            f"{paper_link:.2f}",
+            f"{result.linkup_s:.2f}",
+        ]],
+        title="Table II — elapsed time of hotplug and link-up",
+    )
+    record_result(f"table2_{src}_to_{dst}", table)
+    # Shape assertions: within 0.5 s of the paper's hotplug, within 1.5 s
+    # of the paper's link-up.
+    assert result.hotplug_s == pytest.approx(paper_hot, abs=0.5)
+    assert result.linkup_s == pytest.approx(paper_link, abs=1.5)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Use case: disaster recovery (Section II-A).
+
+"VMs are evacuated from a disaster-affected data center to a safe data
+center before those VMs crash."  A typhoon warning gives the primary
+(InfiniBand) site a 5-minute evacuation deadline; the safe site has only
+Ethernet.  Interconnect-transparent migration widens the set of
+acceptable destination sites — the job survives and keeps running over
+TCP, and the example verifies the evacuation beat the deadline.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+import repro
+from repro import workloads
+from repro.units import GB
+
+
+DEADLINE_S = 300.0  # site must be clear 5 minutes after the warning
+
+
+def main() -> None:
+    cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
+    env = cluster.env
+
+    def experiment():
+        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
+        job = repro.create_job(cluster, vms, procs_per_vm=8)
+        yield from job.init()
+        workload = workloads.BcastReduceLoop(
+            iterations=30, bytes_per_node=4 * GB, procs_per_vm=8
+        )
+        job.launch(workload.rank_main)
+        scheduler = repro.CloudScheduler(cluster)
+
+        # Normal operation until the warning arrives.
+        yield env.timeout(90.0)
+        warning_at = env.now
+        print(f"[{env.now:7.1f}s] ⚠ disaster warning — evacuation deadline "
+              f"t={warning_at + DEADLINE_S:.0f}s")
+
+        plan = scheduler.plan_fallback(vms, label="evacuation")
+        result = yield from scheduler.run_now("disaster", plan, job)
+        evacuated_at = env.now
+
+        print(f"[{env.now:7.1f}s] evacuation complete: {result.breakdown}")
+        slack = warning_at + DEADLINE_S - evacuated_at
+        print(f"           beat the deadline by {slack:.0f} s")
+        assert slack > 0, "evacuation missed the deadline!"
+        assert all(not cluster.node(h).vms for h in ("ib01", "ib02", "ib03", "ib04"))
+
+        # The affected site goes dark; the job must not notice.
+        for host in ("ib01", "ib02", "ib03", "ib04"):
+            port = cluster.eth_fabric.port(host)
+            cluster.eth_fabric.unplug(port)
+        print(f"[{env.now:7.1f}s] primary site offline; job continues on "
+              f"{sorted({q.node.name for q in vms})}")
+
+        yield job.wait()
+        print(f"[{env.now:7.1f}s] job finished without restarting a process:")
+        for sample in workload.series.samples[-3:]:
+            print(f"           step {sample.step}: {sample.elapsed_s:.1f}s")
+
+    env.process(experiment())
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

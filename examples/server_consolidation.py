@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Use case: high resource utilization via VM consolidation (Section II-A).
+
+An under-utilized HPC job (long compute phases, light communication) is
+packed from 4 hosts onto 2, freeing half the hardware; when the job
+enters a communication-heavy phase the scheduler spreads it back out.
+Interconnect-transparent migration makes both moves possible even though
+the consolidation targets are Ethernet-only nodes.
+
+The example quantifies the trade: hosts freed vs iteration slowdown —
+including the superlinear penalty once vCPUs are overcommitted.
+
+Run:  python examples/server_consolidation.py
+"""
+
+import repro
+from repro import workloads
+from repro.units import GB, MiB
+
+
+def main() -> None:
+    cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
+    env = cluster.env
+    report: dict = {}
+
+    def experiment():
+        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
+        job = repro.create_job(cluster, vms, procs_per_vm=8)  # 32 ranks
+        yield from job.init()
+
+        state = {"phase": "4 hosts (IB)"}
+        workload = workloads.BcastReduceLoop(
+            iterations=60,
+            bytes_per_node=4 * GB,
+            procs_per_vm=8,
+            phase_label=lambda: state["phase"],
+        )
+        job.launch(workload.rank_main)
+        scheduler = repro.CloudScheduler(cluster)
+
+        # Phase 1: steady state on 4 IB hosts.
+        yield env.timeout(20.0)
+
+        # Phase 2: utilization is low — consolidate onto 2 Ethernet hosts.
+        plan = scheduler.plan_fallback(vms, consolidate_to=2, label="consolidate")
+        result = yield from scheduler.run_now("consolidation", plan, job)
+        state["phase"] = "2 hosts (TCP)"
+        freed = {n.name for n in cluster.ib_nodes()} | {
+            n.name for n in cluster.eth_only_nodes() if not n.vms
+        }
+        report["consolidate"] = result
+        print(f"[{env.now:7.1f}s] consolidated: {result.breakdown}")
+        print(f"           VMs on: {sorted({q.node.name for q in vms})}")
+        print(f"           hosts freed for other tenants: {len(freed)}")
+        print(f"           vCPU overcommit: "
+              f"{cluster.node('eth01').vcpu_count} vCPUs on "
+              f"{cluster.node('eth01').cpu.cores} cores")
+        yield env.timeout(120.0)
+
+        # Phase 3: deadline approaching — spread back to the IB cluster.
+        plan = scheduler.plan_recovery(vms, label="spread")
+        result = yield from scheduler.run_now("deadline", plan, job)
+        state["phase"] = "4 hosts (IB)"
+        report["spread"] = result
+        print(f"[{env.now:7.1f}s] spread back: {result.breakdown}")
+
+        yield job.wait()
+        print()
+        print(workload.series.render())
+        means = workload.series.phase_means()
+        slowdown = means["2 hosts (TCP)"] / means["4 hosts (IB)"]
+        print(f"\nconsolidation slowdown: {slowdown:.1f}x per iteration "
+              f"for 2x fewer hosts")
+
+    env.process(experiment())
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

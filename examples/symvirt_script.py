@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's Figure 5 script, nearly line for line.
+
+Shows the low-level SymVirt controller API that Ninja migration is built
+from — useful when you need custom orchestration instead of
+:class:`repro.NinjaMigration` (which adds planning, validation, and the
+phase accounting).
+
+Run:  python examples/symvirt_script.py
+"""
+
+import repro
+from repro import workloads
+from repro.symvirt import Controller, SymVirtConfig
+from repro.units import GB
+
+
+def main() -> None:
+    cluster = repro.build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    env = cluster.env
+
+    def experiment():
+        vms = repro.provision_vms(cluster, ["ib01", "ib02"])
+        job = repro.create_job(cluster, vms, procs_per_vm=1)
+        yield from job.init()
+        job.launch(
+            workloads.BcastReduceLoop(iterations=20, bytes_per_node=2 * GB).rank_main
+        )
+        yield env.timeout(10.0)
+        job.request_checkpoint()  # the cloud scheduler's trigger event
+
+        config = SymVirtConfig.from_cluster(cluster)
+
+        # ### 1. fallback migration  (Figure 5, lines 4–16)
+        ctl = Controller(cluster, config.vms_on(config.ib_hostlist))
+
+        # 1a. device detach
+        yield from ctl.wait_all()
+        yield from ctl.device_detach(tag="vf0")
+        yield from ctl.signal()
+
+        # 1b. migration
+        yield from ctl.wait_all()
+        yield from ctl.migration(config.ib_hostlist, config.eth_hostlist)
+        yield from ctl.signal()
+        yield from ctl.quit()
+        print(f"[{env.now:7.1f}s] fallback done; VMs on "
+              f"{[q.node.name for q in vms]}")
+        yield env.timeout(20.0)
+
+        job.request_checkpoint()
+
+        # ### 2. recovery migration  (Figure 5, lines 18–33).
+        # Figure 5 splits this into two controller blocks — one SymVirt
+        # round each: 2a migrates while the guests are parked in the
+        # checkpoint callback, 2b re-attaches while they are parked in
+        # the continue callback.
+        ctl = Controller(cluster, config.vms_on(config.eth_hostlist))
+
+        # 2a. migration
+        yield from ctl.wait_all()
+        yield from ctl.migration(config.eth_hostlist, config.ib_hostlist)
+        yield from ctl.signal()
+        yield from ctl.quit()
+
+        # 2b. device attach
+        ctl = Controller(cluster, config.vms_on(config.ib_hostlist))
+        yield from ctl.wait_all()
+        yield from ctl.device_attach(host="04:00.0", tag="vf0")
+        yield from ctl.signal()
+        ctl.close()
+        print(f"[{env.now:7.1f}s] recovery done; VMs on "
+              f"{[q.node.name for q in vms]}")
+
+        yield job.wait()
+        print(f"[{env.now:7.1f}s] job finished; "
+              f"transports: {job.transports_in_use()}")
+
+    env.process(experiment())
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+bundled ``bdist_wheel`` support (no ``wheel`` package available offline):
+pip can fall back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

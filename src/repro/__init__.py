@@ -1,0 +1,72 @@
+"""Ninja Migration — a full-stack simulation reproduction.
+
+Reproduces *Ninja Migration: An Interconnect-transparent Migration for
+Heterogeneous Data Centers* (Takano et al., IPDPSW 2013): migrating
+multiple co-located VMs running an MPI job between an InfiniBand cluster
+and an Ethernet cluster without restarting the MPI processes, by
+cooperation between the VMM (QEMU/KVM model), the guest OS, and the MPI
+runtime (Open MPI model) through the SymVirt mechanism.
+
+Quickstart::
+
+    import repro
+    from repro import workloads
+
+    cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
+    env = cluster.env
+
+    def experiment():
+        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
+        job = repro.create_job(cluster, vms, procs_per_vm=1)
+        yield from job.init()
+        job.launch(workloads.BcastReduceLoop(iterations=10).rank_main)
+        scheduler = repro.CloudScheduler(cluster)
+        plan = scheduler.plan_fallback(vms)
+        result = yield from scheduler.run_now("maintenance", plan, job)
+        print(result.breakdown)
+        yield job.wait()
+
+    env.process(experiment())
+    env.run()
+"""
+
+from repro._version import __version__
+from repro.core.metrics import IterationSample, IterationSeries, OverheadBreakdown
+from repro.core.ninja import NinjaMigration, NinjaResult
+from repro.core.plan import MigrationPlan
+from repro.core.scheduler import CloudScheduler
+from repro.hardware.calibration import Calibration, PAPER_CALIBRATION
+from repro.hardware.cluster import Cluster, build_agc_cluster, build_two_site_cluster
+from repro.mpi.ft import FtSettings
+from repro.mpi.runtime import MpiJob, MpiProcess
+from repro.sim.core import Environment
+from repro.symvirt.controller import Controller
+from repro.symvirt.coordinator import SymVirtCoordinator
+from repro.testbed import attach_ib_warm, create_job, provision_vms
+from repro.vmm.qemu import QemuProcess
+
+__all__ = [
+    "Calibration",
+    "CloudScheduler",
+    "Cluster",
+    "Controller",
+    "Environment",
+    "FtSettings",
+    "IterationSample",
+    "IterationSeries",
+    "MigrationPlan",
+    "MpiJob",
+    "MpiProcess",
+    "NinjaMigration",
+    "NinjaResult",
+    "OverheadBreakdown",
+    "PAPER_CALIBRATION",
+    "QemuProcess",
+    "SymVirtCoordinator",
+    "__version__",
+    "attach_ib_warm",
+    "build_agc_cluster",
+    "build_two_site_cluster",
+    "create_job",
+    "provision_vms",
+]

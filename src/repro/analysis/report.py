@@ -1,0 +1,44 @@
+"""Plain-text table rendering in the paper's reporting style."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.metrics import OverheadBreakdown
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    widths = [len(str(h)) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_breakdown_table(
+    rows: Mapping[str, OverheadBreakdown], title: str = ""
+) -> str:
+    """One breakdown per labelled row (Figure 6/7 style)."""
+    headers = ["scenario", "migration[s]", "hotplug[s]", "linkup[s]", "total[s]"]
+    body = [
+        [
+            label,
+            f"{b.migration_s:.2f}",
+            f"{b.hotplug_s:.2f}",
+            f"{b.linkup_s:.2f}",
+            f"{b.total_s:.2f}",
+        ]
+        for label, b in rows.items()
+    ]
+    return render_table(headers, body, title=title)

@@ -1,0 +1,101 @@
+"""Periodic resource sampling: CPU load and fabric utilization over time.
+
+A :class:`ResourceSampler` polls cluster-wide gauges on a fixed simulated
+period and stores the series, giving experiments the utilization views a
+real deployment would pull from monitoring — e.g. the per-host CPU load
+trace that makes Figure 8's consolidation contention visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+
+
+@dataclass
+class Sample:
+    """One sampling instant."""
+
+    time: float
+    #: host name → instantaneous CPU load in cores.
+    cpu_load: Dict[str, float] = field(default_factory=dict)
+    #: host name → resident vCPU count.
+    vcpus: Dict[str, int] = field(default_factory=dict)
+    #: fabric name → active flow count.
+    active_flows: Dict[str, int] = field(default_factory=dict)
+
+
+class ResourceSampler:
+    """Samples a cluster until stopped (a simulation process)."""
+
+    def __init__(self, cluster: "Cluster", period_s: float = 5.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.period_s = period_s
+        self.samples: List[Sample] = []
+        self._running = False
+        self._process = None
+
+    # -- control -------------------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        if self._running:
+            return self
+        self._running = True
+        self._process = self.env.process(self._loop(), name="sampler")
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            self.samples.append(self._snapshot())
+            yield self.env.timeout(self.period_s)
+
+    def _snapshot(self) -> Sample:
+        sample = Sample(time=self.env.now)
+        for name, node in self.cluster.nodes.items():
+            sample.cpu_load[name] = node.cpu.load
+            sample.vcpus[name] = node.vcpu_count
+        for fabric in (self.cluster.ib_fabric, self.cluster.eth_fabric):
+            if fabric is not None:
+                sample.active_flows[fabric.name] = len(fabric.flows.active_flows)
+        return sample
+
+    # -- queries --------------------------------------------------------------------
+
+    def series(self, host: str) -> List[tuple[float, float]]:
+        """(time, cpu load) series for one host."""
+        return [(s.time, s.cpu_load.get(host, 0.0)) for s in self.samples]
+
+    def peak_load(self, host: str) -> float:
+        return max((s.cpu_load.get(host, 0.0) for s in self.samples), default=0.0)
+
+    def mean_load(self, host: str, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        window = [
+            s.cpu_load.get(host, 0.0)
+            for s in self.samples
+            if s.time >= t0 and (t1 is None or s.time <= t1)
+        ]
+        return sum(window) / len(window) if window else 0.0
+
+    def render(self, host: str, width: int = 60) -> str:
+        """Sparkline-ish text rendering of one host's load series."""
+        series = self.series(host)
+        if not series:
+            return f"{host}: (no samples)"
+        cores = self.cluster.node(host).cpu.cores
+        glyphs = " ▁▂▃▄▅▆▇█"
+        step = max(len(series) // width, 1)
+        bars = []
+        for i in range(0, len(series), step):
+            chunk = [v for _, v in series[i : i + step]]
+            level = min(int(max(chunk) / cores * (len(glyphs) - 1)), len(glyphs) - 1)
+            bars.append(glyphs[level])
+        return f"{host} [{series[0][0]:.0f}s–{series[-1][0]:.0f}s] |{''.join(bars)}| max={self.peak_load(host):.1f}/{cores} cores"

@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+::
+
+    python -m repro table1
+    python -m repro table2 [--nvms 8]
+    python -m repro fig6   [--sizes 2,4,8,16] [--nvms 8]
+    python -m repro fig7   [--bench BT,CG,FT,LU] [--npb-class C|D]
+    python -m repro fig8   [--ppv 1] [--iterations 40]
+    python -m repro demo
+
+Each command prints the paper-vs-simulated comparison the matching
+benchmark produces; ``demo`` runs one end-to-end fallback migration with
+the phase timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import (
+    run_fig6_memtest,
+    run_fig7_npb,
+    run_fig8_fallback_recovery,
+    run_table2_all,
+)
+from repro.analysis.report import render_table
+from repro.hardware.specs import table1_rows
+from repro.units import GiB
+
+#: Paper reference values used in comparison printouts.
+_PAPER_TABLE2 = {
+    "ib->ib": (3.88, 29.91),
+    "ib->eth": (2.80, 0.00),
+    "eth->ib": (1.15, 29.79),
+    "eth->eth": (0.13, 0.00),
+}
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table(["item", "value"], table1_rows(), title="Table I — AGC cluster specifications"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = []
+    for result in run_table2_all(nvms=args.nvms):
+        paper_hot, paper_link = _PAPER_TABLE2[result.scenario]
+        rows.append([
+            result.scenario,
+            f"{paper_hot:.2f}", f"{result.hotplug_s:.2f}",
+            f"{paper_link:.2f}", f"{result.linkup_s:.2f}",
+        ])
+    print(render_table(
+        ["scenario", "hotplug paper", "hotplug sim", "linkup paper", "linkup sim"],
+        rows, title=f"Table II — hotplug and link-up [s] ({args.nvms} VMs)",
+    ))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    for gib in sizes:
+        breakdown = run_fig6_memtest(gib * GiB, nvms=args.nvms).breakdown
+        rows.append([
+            f"{gib} GB",
+            f"{breakdown.migration_s:.1f}",
+            f"{breakdown.hotplug_s:.1f}",
+            f"{breakdown.linkup_s:.1f}",
+            f"{breakdown.total_s:.1f}",
+        ])
+    print(render_table(
+        ["array", "migration [s]", "hotplug [s]", "linkup [s]", "total [s]"],
+        rows, title=f"Figure 6 — memtest Ninja overhead ({args.nvms} VMs)",
+    ))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    rows = []
+    # Class C jobs are ~16x shorter: trigger the migration early enough
+    # to land inside the run (the paper's t+180 s is a class D setting).
+    migrate_after = 180.0 if args.npb_class == "D" else 20.0
+    for bench in args.bench.split(","):
+        result = run_fig7_npb(
+            bench.strip().upper(),
+            class_name=args.npb_class,
+            migrate_after_s=migrate_after,
+        )
+        b = result.breakdown
+        rows.append([
+            f"{result.bench}.{result.class_name}",
+            f"{result.baseline_s:.1f}",
+            f"{result.proposed_s:.1f}",
+            f"{result.overhead_s:.1f}",
+            f"{b.migration_s:.1f}",
+            f"{b.hotplug_s:.1f}",
+            f"{b.linkup_s:.1f}",
+        ])
+    print(render_table(
+        ["bench", "baseline [s]", "proposed [s]", "overhead [s]",
+         "migration [s]", "hotplug [s]", "linkup [s]"],
+        rows, title="Figure 7 — NPB baseline vs proposed (one Ninja migration)",
+    ))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    result = run_fig8_fallback_recovery(
+        procs_per_vm=args.ppv, iterations=args.iterations
+    )
+    print(result.series.render())
+    print("\nphase means [s/iteration]:")
+    for phase, mean in result.series.phase_means().items():
+        print(f"  {phase:<16} {mean:7.1f}")
+    print(f"total migration overhead: {result.total_overhead_s:.1f} s")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import repro
+    from repro import workloads
+    from repro.units import GB
+
+    cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
+    env = cluster.env
+
+    def experiment():
+        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
+        job = repro.create_job(cluster, vms, procs_per_vm=1)
+        yield from job.init()
+        job.launch(workloads.BcastReduceLoop(iterations=6, bytes_per_node=8 * GB).rank_main)
+        yield env.timeout(20.0)
+        scheduler = repro.CloudScheduler(cluster)
+        result = yield from scheduler.run_now("demo", scheduler.plan_fallback(vms), job)
+        print(f"fallback complete: {result.breakdown}")
+        print(result.timeline.render())
+        yield env.timeout(5.0)
+        print(f"transports: {job.transports_in_use()}")
+        yield job.wait()
+
+    env.process(experiment())
+    env.run()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ninja Migration (IPDPSW 2013) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the testbed table").set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="hotplug/link-up self-migration table")
+    p2.add_argument("--nvms", type=int, default=8)
+    p2.set_defaults(func=_cmd_table2)
+
+    p6 = sub.add_parser("fig6", help="memtest Ninja overhead sweep")
+    p6.add_argument("--sizes", default="2,4,8,16", help="array sizes in GB, comma separated")
+    p6.add_argument("--nvms", type=int, default=8)
+    p6.set_defaults(func=_cmd_fig6)
+
+    p7 = sub.add_parser("fig7", help="NPB baseline vs proposed")
+    p7.add_argument("--bench", default="BT,CG,FT,LU")
+    p7.add_argument("--npb-class", default="D", choices=("C", "D"))
+    p7.set_defaults(func=_cmd_fig7)
+
+    p8 = sub.add_parser("fig8", help="fallback/recovery iteration series")
+    p8.add_argument("--ppv", type=int, default=1, choices=(1, 8))
+    p8.add_argument("--iterations", type=int, default=40)
+    p8.set_defaults(func=_cmd_fig8)
+
+    sub.add_parser("demo", help="one end-to-end fallback migration").set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Reactive fault tolerance: health monitoring driving automatic Ninja.
+
+Section II-A's non-stop-maintenance use case pairs Ninja migration with
+"proactive and reactive fault tolerant systems": *proactive* handling
+(evacuate ahead of a predicted failure) and *reactive* handling (restore
+from checkpoints after an unpredicted one).  This module supplies the
+policy loop:
+
+* :class:`HealthMonitor` — a per-node health feed; experiments inject
+  warnings ("ECC errors rising", "thermal trip predicted") and failures;
+* :class:`FaultToleranceManager` — subscribes to the feed and reacts:
+  a *warning* triggers an automatic fallback of the affected node's VMs
+  to healthy hosts (Ninja — no process restarts); a *failure* of a node
+  holding VMs triggers restore-from-latest-checkpoint on healthy hosts
+  when a :class:`~repro.core.checkpointing.ProactiveCheckpoint` schedule
+  is attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.core.checkpointing import CheckpointResult, ProactiveCheckpoint
+from repro.core.plan import MigrationPlan
+from repro.core.scheduler import CloudScheduler
+from repro.errors import SchedulerError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.mpi.runtime import MpiJob
+    from repro.vmm.qemu import QemuProcess
+
+
+class Health(enum.Enum):
+    """Node health states."""
+
+    OK = "ok"
+    WARNING = "warning"   # predicted failure — evacuate proactively
+    FAILED = "failed"     # hard down — reactive path only
+
+
+@dataclass
+class HealthEvent:
+    time: float
+    node: str
+    state: Health
+    reason: str = ""
+
+
+class HealthMonitor:
+    """Health state per node + subscriber notification."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.state: Dict[str, Health] = {n: Health.OK for n in cluster.nodes}
+        self.events: List[HealthEvent] = []
+        self._subscribers: List[Callable[[HealthEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[HealthEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def report(self, node: str, state: Health, reason: str = "") -> HealthEvent:
+        """Inject a health transition (sensor/operator input)."""
+        self.cluster.node(node)  # existence check
+        self.state[node] = state
+        event = HealthEvent(time=self.env.now, node=node, state=state, reason=reason)
+        self.events.append(event)
+        self.cluster.trace("health", state.value, node=node, reason=reason)
+        for callback in list(self._subscribers):
+            callback(event)
+        return event
+
+    def healthy_nodes(self) -> List[str]:
+        return sorted(n for n, s in self.state.items() if s is Health.OK)
+
+    def schedule_report(self, at_time: float, node: str, state: Health, reason: str = "") -> None:
+        """Deliver a health transition at a future simulated time."""
+
+        def _fire():
+            yield self.env.timeout(max(at_time - self.env.now, 0.0))
+            self.report(node, state, reason)
+
+        self.env.process(_fire(), name=f"health.{node}")
+
+
+@dataclass
+class FtAction:
+    """One reaction taken by the manager."""
+
+    time: float
+    kind: str           # "evacuate" | "restore"
+    node: str
+    detail: str = ""
+    ok: bool = True
+
+
+class FaultToleranceManager:
+    """Automatic evacuation/restore policy bound to one job."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        job: "MpiJob",
+        qemus: Sequence["QemuProcess"],
+        monitor: Optional[HealthMonitor] = None,
+        checkpointer: Optional[ProactiveCheckpoint] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.job = job
+        self.qemus = list(qemus)
+        self.monitor = monitor if monitor is not None else HealthMonitor(cluster)
+        self.scheduler = CloudScheduler(cluster)
+        self.checkpointer = checkpointer
+        self.last_checkpoint: Optional[CheckpointResult] = None
+        self.actions: List[FtAction] = []
+        self._busy = False
+        self.monitor.subscribe(self._on_event)
+
+    # -- checkpoint schedule -------------------------------------------------------
+
+    def run_checkpoint_schedule(self, period_s: float, rounds: int = 10**9):
+        """Periodic proactive checkpoints (generator — run as a process)."""
+        if self.checkpointer is None:
+            raise SchedulerError("no ProactiveCheckpoint attached")
+        for _ in range(rounds):
+            yield self.env.timeout(period_s)
+            if self.job.live_ranks < self.job.size:
+                return
+            self.last_checkpoint = yield from self.checkpointer.execute(
+                self.job, self.qemus
+            )
+
+    # -- reactions -----------------------------------------------------------------------
+
+    def _on_event(self, event: HealthEvent) -> None:
+        if event.state is Health.WARNING:
+            self.env.process(self._evacuate(event), name=f"ft.evacuate.{event.node}")
+        elif event.state is Health.FAILED:
+            self.env.process(self._react_to_failure(event), name=f"ft.restore.{event.node}")
+
+    def _vms_on(self, node: str) -> List["QemuProcess"]:
+        return [q for q in self.qemus if q.node.name == node]
+
+    def _evacuate(self, event: HealthEvent):
+        """Predicted failure: Ninja-migrate every VM of the whole fleet.
+
+        All VMs move together — the SymVirt park is global, and leaving
+        peers behind would split the job across a degraded node anyway.
+        """
+        if self._busy or not self._vms_on(event.node):
+            return
+        self._busy = True
+        try:
+            healthy = [
+                h for h in self.monitor.healthy_nodes()
+                if not self.cluster.node(h).vms
+                and self.cluster.node(h).free_memory
+                >= max(q.vm.memory.size_bytes for q in self.qemus)
+            ]
+            if len(healthy) < len(self.qemus):
+                self.actions.append(FtAction(
+                    self.env.now, "evacuate", event.node,
+                    detail="insufficient healthy capacity", ok=False,
+                ))
+                return
+            plan = MigrationPlan.build(
+                self.cluster, self.qemus, healthy[: len(self.qemus)],
+                attach_ib=None, label=f"evacuate:{event.node}",
+            )
+            result = yield from self.scheduler.run_now("health-warning", plan, self.job)
+            self.actions.append(FtAction(
+                self.env.now, "evacuate", event.node,
+                detail=f"{len(self.qemus)} VMs, {result.breakdown}", ok=True,
+            ))
+        finally:
+            self._busy = False
+
+    def _react_to_failure(self, event: HealthEvent):
+        """Hard failure: restore the latest checkpoint on healthy hosts."""
+        lost = self._vms_on(event.node)
+        if not lost:
+            return
+        for qemu in lost:
+            qemu.shutdown()
+        if self.checkpointer is None or self.last_checkpoint is None:
+            self.actions.append(FtAction(
+                self.env.now, "restore", event.node,
+                detail="no checkpoint available — job lost", ok=False,
+            ))
+            return
+        healthy = [
+            h for h in self.monitor.healthy_nodes() if not self.cluster.node(h).vms
+        ]
+        if not healthy:
+            self.actions.append(FtAction(
+                self.env.now, "restore", event.node,
+                detail="no healthy capacity", ok=False,
+            ))
+            return
+        restored = yield from self.checkpointer.restore(
+            self.last_checkpoint.image_names, healthy, name_suffix="-r"
+        )
+        self.actions.append(FtAction(
+            self.env.now, "restore", event.node,
+            detail=f"restored {len(restored)} VMs on {[q.node.name for q in restored]}",
+            ok=True,
+        ))
+        return restored

@@ -1,0 +1,200 @@
+"""The Ninja migration orchestrator.
+
+Executes the full interconnect-transparent migration sequence of
+Figures 4/5 against a running MPI job:
+
+1. **coordination** — the cloud scheduler's trigger reaches every rank;
+   CRCP quiesces traffic; SymVirt coordinators park the VMs (round A);
+2. **detach** — agents ``device_del`` the VMM-bypass HCAs and drive the
+   ACPI eject to completion;
+3. signal / re-park (round B, instantaneous — the coordinators' continue
+   callback waits immediately);
+4. **migration** — QEMU precopy of every VM in parallel (single pass:
+   the guests are parked, nothing dirties memory);
+5. **attach** — agents ``device_add`` the destination HCAs where the plan
+   says so, plus the guest-side **confirm** round;
+6. signal — guests resume; coordinators confirm **link-up** (~30 s when
+   an IB device was attached), then the MPI runtime reconstructs BTLs and
+   transport switches per exclusivity.
+
+Returns a :class:`NinjaResult` whose breakdown matches the stacked bars
+of Figures 6–8 and the columns of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.metrics import OverheadBreakdown
+from repro.core.phases import PhaseTimeline
+from repro.core.plan import MigrationPlan
+from repro.errors import SymVirtError
+from repro.symvirt.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.mpi.runtime import MpiJob
+    from repro.vmm.migration import MigrationStats
+
+
+@dataclass
+class NinjaResult:
+    """Outcome of one Ninja migration sequence."""
+
+    plan: MigrationPlan
+    breakdown: OverheadBreakdown
+    timeline: PhaseTimeline
+    migration_stats: Dict[str, "MigrationStats"] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class NinjaMigration:
+    """Orchestrates Ninja migrations on one cluster."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        #: Completed sequences (most recent last).
+        self.history: list[NinjaResult] = []
+
+    def execute(self, job: "MpiJob", plan: MigrationPlan, request_checkpoint: bool = True):
+        """Run the sequence (generator — drive from a simulation process).
+
+        ``request_checkpoint=False`` lets callers that already delivered
+        the trigger (e.g. a cloud-scheduler event process) skip step 0.
+        """
+        env = self.env
+        plan.validate()
+        timeline = PhaseTimeline()
+        t0 = env.now
+        ctl = Controller(self.cluster, plan.qemus)
+
+        # Migration noise dilates hotplug primitives on real moves (Fig. 6).
+        noise = (
+            self.cluster.calibration.migration_noise_factor
+            if plan.is_node_to_node
+            else 1.0
+        )
+        for qemu in plan.qemus:
+            qemu.hotplug.noise_factor = noise
+
+        try:
+            # -- 1. coordination: trigger + quiesce + park (round A) -------
+            timeline.begin("coordination", env.now)
+            if request_checkpoint:
+                job.request_checkpoint()
+            yield from ctl.wait_all()
+            timeline.end("coordination", env.now)
+
+            # -- 2. detach ---------------------------------------------------
+            timeline.begin("detach", env.now)
+            yield from ctl.device_detach(plan.detach_tag)
+            timeline.end("detach", env.now)
+
+            # -- 3. round A → round B ----------------------------------------
+            yield from ctl.signal()
+            yield from ctl.wait_all()
+
+            # -- 4. migration -------------------------------------------------
+            timeline.begin("migration", env.now)
+            stats = yield from ctl.migration(
+                plan.src_hostlist, plan.dst_hostlist, mapping=plan.mapping
+            )
+            timeline.end("migration", env.now)
+
+            # -- 5. attach + confirm ------------------------------------------
+            timeline.begin("attach", env.now)
+            attach_agents = [
+                agent
+                for agent, entry in zip(ctl.agents, plan.entries)
+                if entry.attach_ib
+            ]
+            if attach_agents:
+                barrier = ctl._parallel(
+                    agent.device_attach(
+                        host=entry.attach_bdf, tag=plan.detach_tag
+                    )
+                    for agent, entry in zip(ctl.agents, plan.entries)
+                    if entry.attach_ib
+                )
+                yield barrier
+            timeline.end("attach", env.now)
+
+            timeline.begin("confirm", env.now)
+            yield ctl._parallel(
+                agent.qemu.hotplug.confirm() for agent in ctl.agents
+            )
+            timeline.end("confirm", env.now)
+
+            # Collect link-up events before waking the guests.
+            linkup_events = []
+            for agent, entry in zip(ctl.agents, plan.entries):
+                if entry.attach_ib:
+                    assignment = agent.qemu.assignments.get(plan.detach_tag)
+                    if assignment is None or assignment.function.port is None:
+                        raise SymVirtError(
+                            f"{agent.qemu.vm.name}: attach left no port to confirm"
+                        )
+                    linkup_events.append(assignment.function.port.wait_active())
+
+            # -- 6. resume + link-up -------------------------------------------
+            yield from ctl.signal()
+            timeline.begin("linkup", env.now)
+            if linkup_events:
+                yield env.all_of(linkup_events)
+            timeline.end("linkup", env.now)
+
+            yield from ctl.quit()
+        finally:
+            for qemu in plan.qemus:
+                qemu.hotplug.noise_factor = 1.0
+
+        result = NinjaResult(
+            plan=plan,
+            breakdown=OverheadBreakdown.from_timeline(timeline),
+            timeline=timeline,
+            migration_stats=stats,
+            started_at=t0,
+            finished_at=env.now,
+        )
+        self.history.append(result)
+        self.cluster.trace(
+            "ninja",
+            "completed",
+            label=plan.label,
+            wallclock=round(result.total_s, 3),
+            **result.breakdown.as_row(),
+        )
+        return result
+
+    # -- plan builders (thin wrappers; the cloud scheduler adds policy) ------------
+
+    def fallback_plan(self, qemus, dst_hosts, label: str = "fallback") -> MigrationPlan:
+        """IB cluster → Ethernet cluster (detach, no re-attach)."""
+        return MigrationPlan.build(
+            self.cluster, qemus, list(dst_hosts), attach_ib=False, label=label
+        )
+
+    def recovery_plan(self, qemus, dst_hosts, label: str = "recovery") -> MigrationPlan:
+        """Ethernet cluster → IB cluster (re-attach on arrival)."""
+        return MigrationPlan.build(
+            self.cluster, qemus, list(dst_hosts), attach_ib=True, label=label
+        )
+
+    def self_migration_plan(
+        self, qemus, attach_ib: bool, label: str = "self"
+    ) -> MigrationPlan:
+        """Migrate VMs onto their own hosts (the Table II micro benchmark)."""
+        return MigrationPlan.build(
+            self.cluster,
+            qemus,
+            [q.node.name for q in qemus],
+            attach_ib=attach_ib,
+            label=label,
+        )

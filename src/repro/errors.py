@@ -1,0 +1,119 @@
+"""Exception hierarchy for the Ninja Migration reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+"anything from this library" without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# --- simulation kernel -----------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. yielding a non-event)."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by ``Environment.run(until=...)``.
+
+    Deliberately *not* a :class:`ReproError`: it must never be swallowed by
+    user code catching library errors.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class InterruptError(ReproError):
+    """Raised inside a process that has been interrupted by another process."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# --- hardware / network ----------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Invalid hardware configuration or operation (e.g. no free PCI slot)."""
+
+
+class NetworkError(ReproError):
+    """Fabric-level failure (unreachable peer, link down, no route)."""
+
+
+class LinkDownError(NetworkError):
+    """A transfer was attempted over a port whose link is not ACTIVE."""
+
+
+# --- VMM -------------------------------------------------------------------
+
+
+class VmmError(ReproError):
+    """QEMU/KVM model errors (bad state transitions, unknown devices)."""
+
+
+class QmpError(VmmError):
+    """A QMP command failed; mirrors QEMU's error-response path."""
+
+    def __init__(self, cls: str, desc: str) -> None:
+        super().__init__(f"{cls}: {desc}")
+        self.cls = cls
+        self.desc = desc
+
+
+class MigrationError(VmmError):
+    """Live migration failed or was attempted in an illegal state."""
+
+
+class MigrationBlockedError(MigrationError):
+    """Migration refused because a VMM-bypass device is still attached.
+
+    This is the exact failure mode the paper works around: QEMU cannot
+    migrate a VM that has a passthrough (VFIO) device assigned.
+    """
+
+
+class HotplugError(VmmError):
+    """PCI hotplug (ACPI) operation failed."""
+
+
+# --- guest OS / MPI --------------------------------------------------------
+
+
+class GuestError(ReproError):
+    """Guest-kernel level failure (driver not bound, device missing)."""
+
+
+class MpiError(ReproError):
+    """MPI runtime error (aborts, unreachable peers, bad communicator)."""
+
+
+class BtlUnreachableError(MpiError):
+    """No BTL module can reach a peer — the job cannot communicate."""
+
+
+class CheckpointError(MpiError):
+    """CRCP/CRS checkpoint-restart protocol failure."""
+
+
+# --- SymVirt / Ninja -------------------------------------------------------
+
+
+class SymVirtError(ReproError):
+    """SymVirt coordination failure (wait/signal mismatch, lost agent)."""
+
+
+class PlanError(ReproError):
+    """A migration plan is invalid (capacity, device tags, host mapping)."""
+
+
+class SchedulerError(ReproError):
+    """Cloud-scheduler level failure (no feasible placement)."""

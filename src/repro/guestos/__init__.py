@@ -1,0 +1,22 @@
+"""Guest operating system substrate.
+
+Models the pieces of the guest Linux (Scientific Linux 6.2 in the paper)
+that Ninja migration interacts with: the ``acpiphp`` hotplug handling, the
+``mlx4`` InfiniBand and ``virtio_net`` drivers with their link state
+machines, the network interface registry the MPI BTLs probe, and guest
+user processes (the MPI ranks / memory writers).
+"""
+
+from repro.guestos.drivers import Mlx4Driver, VirtioNetDriver
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.netstack import NetInterface
+from repro.guestos.process import GuestProcess, MemoryWriter
+
+__all__ = [
+    "GuestKernel",
+    "GuestProcess",
+    "MemoryWriter",
+    "Mlx4Driver",
+    "NetInterface",
+    "VirtioNetDriver",
+]

@@ -1,0 +1,136 @@
+"""Guest device drivers: mlx4 (InfiniBand) and virtio_net.
+
+The driver layer is where the paper's "link-up" phase lives: after a
+hot-attach the mlx4 driver probes the HCA and the port sits in POLLING
+("the hardware state keeps 'polling', which indicates the port is not
+physically connected" — Section V) for ~30 s until the subnet manager
+activates it.  ``virtio_net`` links up immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import GuestError
+from repro.network.fabric import Port, PortState
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guestos.kernel import GuestKernel
+    from repro.hardware.pci import PciDevice
+
+
+class Driver:
+    """Common driver behaviour."""
+
+    name = "driver"
+
+    def __init__(self, kernel: "GuestKernel", device: "PciDevice") -> None:
+        self.kernel = kernel
+        self.env = kernel.env
+        self.device = device
+        self.bound = False
+
+    @property
+    def port(self) -> Optional[Port]:
+        return getattr(self.device, "port", None)
+
+    @property
+    def link_up(self) -> bool:
+        port = self.port
+        return self.bound and port is not None and port.state is PortState.ACTIVE
+
+    def probe(self) -> None:
+        """Bind the driver to the device (hotplug add path)."""
+        self.bound = True
+
+    def remove(self) -> None:
+        """Unbind (hotplug eject path)."""
+        self.bound = False
+
+    def wait_link_up(self) -> Event:
+        """Event firing when the interface carries traffic."""
+        raise NotImplementedError
+
+
+class BypassFabricDriver(Driver):
+    """Shared behaviour of VMM-bypass fabric drivers (mlx4, myri_mx).
+
+    Probing (re)starts physical link training — the port leaves ACTIVE on
+    detach, so every fresh attach pays the fabric's link-up time (the IB
+    subnet manager's ~30 s, the Myrinet FMA's ~2 s).
+    """
+
+    def probe(self) -> None:
+        port = self.port
+        if port is None:
+            raise GuestError(
+                f"{self.device.model}: adapter is not cabled to any fabric"
+            )
+        super().probe()
+        if port.state is PortState.DOWN:
+            port.fabric.plug(port)
+        self.kernel.trace("driver", f"{self.name}.probe", port=port.name)
+
+    def remove(self) -> None:
+        port = self.port
+        if port is not None and port.state is not PortState.DOWN:
+            port.fabric.unplug(port)
+        super().remove()
+        self.kernel.trace("driver", f"{self.name}.remove")
+
+    def wait_link_up(self) -> Event:
+        """Fires when the port reaches ACTIVE (the link-up the paper times)."""
+        port = self.port
+        if port is None:
+            raise GuestError(f"{self.name}: no port")
+        return port.wait_active()
+
+
+class Mlx4Driver(BypassFabricDriver):
+    """The ConnectX driver: probing starts IB link training."""
+
+    name = "mlx4_core"
+
+
+class MyriMxDriver(BypassFabricDriver):
+    """The Myri-10G MX driver: FMA remaps the fabric within seconds."""
+
+    name = "myri_mx"
+
+
+class VirtioNetDriver(Driver):
+    """virtio_net: carrier is up as soon as the backend exists."""
+
+    name = "virtio_net"
+
+    @property
+    def port(self) -> Optional[Port]:
+        backend = getattr(self.device, "backend", None)
+        return backend.port if backend is not None else None
+
+    @property
+    def link_up(self) -> bool:
+        # The uplink is the host NIC, which is up whenever the host is.
+        port = self.port
+        return self.bound and port is not None and port.state is PortState.ACTIVE
+
+    def wait_link_up(self) -> Event:
+        event = Event(self.env)
+        if self.link_up:
+            event.succeed(self)
+        else:
+            port = self.port
+            if port is None:
+                raise GuestError("virtio_net: no backend")
+            inner = port.wait_active()
+            inner.wait(lambda ev: event.succeed(self) if not event.triggered else None)
+        return event
+
+
+#: kind → driver class used by the guest kernel's bus scan.
+DRIVER_TABLE = {
+    "infiniband-hca": Mlx4Driver,
+    "myrinet-nic": MyriMxDriver,
+    "virtio-nic": VirtioNetDriver,
+}

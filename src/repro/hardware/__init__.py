@@ -1,0 +1,52 @@
+"""Physical hardware substrate: nodes, CPUs, PCI, devices, clusters.
+
+The module reproduces the paper's testbed — the AIST Green Cloud (AGC)
+cluster of Table I — as simulation objects: 16 Dell M610 blades, each with
+two quad-core Xeon E5540s, 48 GB RAM, a Mellanox ConnectX QDR InfiniBand
+HCA and a Broadcom 10 GbE NIC, split into an 8-node InfiniBand cluster and
+an 8-node Ethernet cluster.
+"""
+
+from repro.hardware.calibration import Calibration, PAPER_CALIBRATION
+from repro.hardware.cluster import Cluster, build_agc_cluster, build_two_site_cluster
+from repro.hardware.cpu import HostCpu
+from repro.hardware.devices import (
+    EthernetNic,
+    InfiniBandHca,
+    VirtioNic,
+    DEVICE_CATALOG,
+)
+from repro.hardware.node import PhysicalNode
+from repro.hardware.pci import PciAddress, PciBus, PciDevice, PciSlot
+from repro.hardware.specs import (
+    AGC_NODE_SPEC,
+    AGC_IB_SWITCH,
+    AGC_ETH_SWITCH,
+    DeviceSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+
+__all__ = [
+    "AGC_ETH_SWITCH",
+    "AGC_IB_SWITCH",
+    "AGC_NODE_SPEC",
+    "Calibration",
+    "Cluster",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "EthernetNic",
+    "HostCpu",
+    "InfiniBandHca",
+    "NodeSpec",
+    "PAPER_CALIBRATION",
+    "PciAddress",
+    "PciBus",
+    "PciDevice",
+    "PciSlot",
+    "PhysicalNode",
+    "SwitchSpec",
+    "VirtioNic",
+    "build_agc_cluster",
+    "build_two_site_cluster",
+]

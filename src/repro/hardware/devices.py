@@ -1,0 +1,115 @@
+"""Concrete PCI device models: InfiniBand HCA, Ethernet NIC, virtio-net.
+
+A device owns a *port* that the network fabrics (:mod:`repro.network`)
+attach to.  Passthrough-capable devices can be assigned to a VM
+(:mod:`repro.vmm.passthrough`); virtio NICs are created per-VM by QEMU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.hardware.pci import PciDevice
+from repro.hardware.specs import (
+    BROADCOM_NETXTREME_10GBE,
+    DeviceSpec,
+    MELLANOX_CONNECTX_QDR,
+    MYRICOM_MYRI10G,
+    VIRTIO_NET,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import Port
+
+
+class NetworkDevice(PciDevice):
+    """A PCI device with a network port."""
+
+    def __init__(self, spec: DeviceSpec, serial: int = 0) -> None:
+        super().__init__(spec.model, spec.kind)
+        self.spec = spec
+        self.serial = serial
+        #: The fabric port this device's PHY connects to (wired by Cluster).
+        self.port: Optional["Port"] = None
+
+    @property
+    def link_rate_Bps(self) -> float:
+        return self.spec.link_rate_Bps
+
+    def connect_port(self, port: "Port") -> None:
+        """Wire the device PHY to a fabric port (cabling, done once)."""
+        self.port = port
+        port.device = self
+
+
+class InfiniBandHca(NetworkDevice):
+    """Mellanox ConnectX-style QDR HCA.
+
+    VMM-bypass capable: assigned to a VM via VFIO, the guest talks verbs
+    directly to the (simulated) hardware, so there is **zero virtualization
+    overhead during normal operation** — and the VM cannot migrate while
+    the device is attached (the paper's core tension).
+    """
+
+    def __init__(self, spec: DeviceSpec = MELLANOX_CONNECTX_QDR, serial: int = 0) -> None:
+        super().__init__(spec, serial)
+        #: Firmware GUID; stable across hotplug (used by the subnet manager).
+        self.node_guid = f"0002:c903:{serial:04x}:{serial ^ 0xBEEF:04x}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<InfiniBandHca guid={self.node_guid} at {self.address}>"
+
+
+class MyrinetNic(NetworkDevice):
+    """Myri-10G NIC: OS-bypass MX datapath, passthrough-capable.
+
+    Like the IB HCA it blocks migration while assigned and its open MX
+    endpoints die on hot-detach; unlike IB, fabric remapping after a
+    re-attach takes seconds, not ~30 s.
+    """
+
+    def __init__(self, spec: DeviceSpec = MYRICOM_MYRI10G, serial: int = 0) -> None:
+        super().__init__(spec, serial)
+        self.mac = f"00:60:dd:{(serial >> 16) & 0xFF:02x}:{(serial >> 8) & 0xFF:02x}:{serial & 0xFF:02x}"
+
+
+class EthernetNic(NetworkDevice):
+    """Broadcom NetXtreme II-style 10 GbE NIC (host datapath)."""
+
+    def __init__(self, spec: DeviceSpec = BROADCOM_NETXTREME_10GBE, serial: int = 0) -> None:
+        super().__init__(spec, serial)
+        self.mac = f"00:10:18:{(serial >> 16) & 0xFF:02x}:{(serial >> 8) & 0xFF:02x}:{serial & 0xFF:02x}"
+
+
+class VirtioNic(NetworkDevice):
+    """Para-virtual virtio-net device exposed to a guest.
+
+    Backed by the host's physical Ethernet NIC through a (simulated) bridge;
+    traffic pays the virtio/TCP CPU cost modelled in
+    :mod:`repro.network.tcp`.
+    """
+
+    def __init__(self, spec: DeviceSpec = VIRTIO_NET, serial: int = 0) -> None:
+        super().__init__(spec, serial)
+        self.mac = f"52:54:00:{(serial >> 16) & 0xFF:02x}:{(serial >> 8) & 0xFF:02x}:{serial & 0xFF:02x}"
+        #: The host NIC providing uplink (set when QEMU creates the device).
+        self.backend: Optional[EthernetNic] = None
+
+
+#: Catalog used by cluster builders.
+DEVICE_CATALOG = {
+    "infiniband-hca": InfiniBandHca,
+    "myrinet-nic": MyrinetNic,
+    "ethernet-nic": EthernetNic,
+    "virtio-nic": VirtioNic,
+}
+
+#: Device kinds whose datapath bypasses the VMM (and therefore block
+#: migration while assigned).
+BYPASS_KINDS = ("infiniband-hca", "myrinet-nic")
+
+
+def make_device(spec: DeviceSpec, serial: int = 0) -> NetworkDevice:
+    """Instantiate the behaviour class for a :class:`DeviceSpec`."""
+    cls = DEVICE_CATALOG[spec.kind]
+    return cls(spec, serial)

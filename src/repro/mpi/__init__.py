@@ -1,0 +1,35 @@
+"""Open MPI-like runtime substrate.
+
+Reproduces the pieces of Open MPI 1.6 that Ninja migration is built on:
+
+* the **BTL** (Byte Transfer Layer) framework with exclusivity-based
+  transport selection — ``openib`` (1024) beats ``tcp`` (100), ``sm``
+  handles co-located ranks (:mod:`repro.mpi.btl`);
+* point-to-point matching and collective algorithms
+  (:mod:`repro.mpi.p2p`, :mod:`repro.mpi.collectives`);
+* the **CRCP** checkpoint/restart coordination protocol that quiesces the
+  job into a consistent state (:mod:`repro.mpi.crcp`);
+* the **OPAL CRS** framework with the SELF component whose
+  checkpoint/continue/restart callbacks the SymVirt coordinator hooks
+  (:mod:`repro.mpi.crs`);
+* the ``ft-enable-cr`` runtime glue including
+  ``ompi_cr_continue_like_restart`` (:mod:`repro.mpi.ft`).
+"""
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.crcp import CrcpCoordinator
+from repro.mpi.crs import CrsCallbacks, OpalCrs
+from repro.mpi.datatypes import Message
+from repro.mpi.ft import FtSettings
+from repro.mpi.runtime import MpiJob, MpiProcess
+
+__all__ = [
+    "Communicator",
+    "CrcpCoordinator",
+    "CrsCallbacks",
+    "FtSettings",
+    "Message",
+    "MpiJob",
+    "MpiProcess",
+    "OpalCrs",
+]

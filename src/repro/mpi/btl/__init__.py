@@ -1,0 +1,38 @@
+"""Byte Transfer Layer (BTL): Open MPI's interconnect-agnostic transports.
+
+"OMPI Byte Transfer Layer (BTL) provides an interconnect agnostic
+abstraction, used for MPI point-to-point messages on several types of
+networks" (Section III-C).  Each BTL advertises an ``exclusivity``; for
+every peer the highest-exclusivity *reachable* module wins:
+
+===========  ============  =========================================
+module       exclusivity    path
+===========  ============  =========================================
+``sm``       65536          shared memory (ranks in the same VM)
+``openib``   1024           VMM-bypass InfiniBand verbs
+``mx``       512            VMM-bypass Myrinet Express
+``tcp``      100            TCP/IP through virtio_net / the host NIC
+===========  ============  =========================================
+
+Transport switching across a Ninja migration *is* BTL reconstruction:
+modules are finalized, devices re-probed, and selection re-run — LIDs and
+queue-pair numbers may change freely because every connection is
+re-established (Section III-C, contrast with Nomad in Section VI).
+"""
+
+from repro.mpi.btl.base import Btl, BtlRegistry
+from repro.mpi.btl.mx import MxBtl
+from repro.mpi.btl.openib import OpenIbBtl
+from repro.mpi.btl.sm import SmBtl
+from repro.mpi.btl.selection import BtlSelection
+from repro.mpi.btl.tcp import TcpBtl
+
+__all__ = [
+    "Btl",
+    "BtlRegistry",
+    "BtlSelection",
+    "MxBtl",
+    "OpenIbBtl",
+    "SmBtl",
+    "TcpBtl",
+]

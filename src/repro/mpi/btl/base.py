@@ -1,0 +1,115 @@
+"""BTL base interface and registry."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Type
+
+from repro.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import MpiProcess
+    from repro.mpi.datatypes import Message
+
+
+class Btl:
+    """One BTL module instance, owned by one MPI process.
+
+    Lifecycle mirrors Open MPI: constructed during ``add_procs`` (or a
+    reconstruction), lazily opens per-peer connections, and is finalized
+    when the process tears the transport down (pre-checkpoint).
+    """
+
+    #: Component name, e.g. ``"openib"``.
+    name: str = "base"
+    #: Selection priority; higher wins (Section III-C gives tcp=100,
+    #: openib=1024).
+    exclusivity: int = 0
+
+    def __init__(self, proc: "MpiProcess") -> None:
+        self.proc = proc
+        self.env = proc.env
+        self.alive = True
+        #: Messages sent / bytes moved (diagnostics).
+        self.sends = 0
+        self.bytes_sent = 0
+
+    # -- capability probes -----------------------------------------------------
+
+    @classmethod
+    def usable(cls, proc: "MpiProcess") -> bool:
+        """Can this component initialize on ``proc``'s guest at all?"""
+        raise NotImplementedError
+
+    def reaches(self, peer: "MpiProcess") -> bool:
+        """Can this module carry traffic to ``peer`` right now?"""
+        raise NotImplementedError
+
+    def rtt_s(self, peer: "MpiProcess") -> float:
+        """One round trip to ``peer`` (the rendezvous handshake cost)."""
+        return 0.0
+
+    # -- data path ----------------------------------------------------------------
+
+    def send(self, peer: "MpiProcess", message: "Message"):
+        """Deliver ``message`` to ``peer`` (generator; yield from it).
+
+        Implementations must deposit the envelope into
+        ``peer.deliver(message)`` after the transport-level transfer.
+        """
+        raise NotImplementedError
+
+    def rendezvous(self, peer: "MpiProcess", message: "Message"):
+        """Long-message RTS/CTS handshake (generator).
+
+        Messages above the eager limit negotiate receive buffers before
+        the payload moves; eager messages skip this entirely.
+        """
+        if message.nbytes > self.proc.calibration.eager_limit_bytes:
+            yield self.env.timeout(self.rtt_s(peer))
+
+    def prepare_checkpoint(self) -> None:
+        """Pre-checkpoint resource release.
+
+        Default: nothing.  ``openib`` finalizes itself entirely ("Open MPI
+        CRS releases all resources allocated on Infiniband devices in the
+        pre-checkpoint phase"); ``tcp`` closes its sockets but the module
+        survives (BLCR cannot save sockets, so connections always
+        re-establish lazily after a resume).
+        """
+
+    def finalize(self) -> None:
+        """Release transport resources (QPs, sockets) and kill the module."""
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Btl {self.name} excl={self.exclusivity} proc={self.proc.rank}>"
+
+
+class BtlRegistry:
+    """Available BTL components (mirrors Open MPI's MCA component list)."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, Type[Btl]] = {}
+
+    def register(self, component: Type[Btl]) -> Type[Btl]:
+        if component.name in self._components:
+            raise MpiError(f"duplicate BTL component {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def component(self, name: str) -> Type[Btl]:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise MpiError(f"unknown BTL component {name!r}") from None
+
+    def components(self) -> list[Type[Btl]]:
+        """All components, highest exclusivity first."""
+        return sorted(self._components.values(), key=lambda c: -c.exclusivity)
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.components()]
+
+
+#: The global component registry (populated by the btl submodules).
+DEFAULT_REGISTRY = BtlRegistry()

@@ -1,0 +1,113 @@
+"""The ``mx`` BTL: MPI over Myrinet Express.
+
+Open MPI 1.6 shipped an mx BTL whose exclusivity sat between openib and
+tcp — Myrinet is preferred over Ethernet but loses to InfiniBand when
+both are somehow present.  Endpoints are opened lazily per peer and die
+with the NIC on hot-detach, exactly like openib's queue pairs, so the
+same BTL-reconstruction story carries an application between IB,
+Myrinet, and Ethernet clusters without restarts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import BtlUnreachableError, LinkDownError, NetworkError
+from repro.mpi.btl.base import Btl, DEFAULT_REGISTRY
+from repro.network.fabric import PortState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import MpiProcess
+    from repro.mpi.datatypes import Message
+    from repro.network.myrinet import MxEndpoint, MyrinetFabric
+
+
+def _active_mx_port(proc: "MpiProcess"):
+    kernel = proc.vm.kernel
+    if kernel is None:
+        return None
+    iface = kernel.myrinet_interface()
+    if iface is None or not iface.is_up:
+        return None
+    port = iface.driver.port
+    if port is None or port.state is not PortState.ACTIVE:
+        return None
+    return port
+
+
+@DEFAULT_REGISTRY.register
+class MxBtl(Btl):
+    """Myrinet Express transport."""
+
+    name = "mx"
+    exclusivity = 512
+
+    def __init__(self, proc: "MpiProcess") -> None:
+        super().__init__(proc)
+        self._endpoints: Dict[int, "MxEndpoint"] = {}
+        self._broken_peers: set[int] = set()
+
+    @classmethod
+    def usable(cls, proc: "MpiProcess") -> bool:
+        return _active_mx_port(proc) is not None
+
+    def reaches(self, peer: "MpiProcess") -> bool:
+        if peer.vm is self.proc.vm:
+            return False
+        if peer.rank in self._broken_peers:
+            return False
+        local = _active_mx_port(self.proc)
+        remote = _active_mx_port(peer)
+        if local is None or remote is None:
+            return False
+        return local.fabric is remote.fabric
+
+    def rtt_s(self, peer: "MpiProcess") -> float:
+        return 2.0 * self.proc.calibration.myrinet_latency_s
+
+    def _endpoint_for(self, peer: "MpiProcess"):
+        endpoint = self._endpoints.get(peer.rank)
+        if endpoint is not None and endpoint.alive:
+            return endpoint
+        local = _active_mx_port(self.proc)
+        remote = _active_mx_port(peer)
+        if local is None or remote is None:
+            raise BtlUnreachableError(
+                f"mx: rank {self.proc.rank}->{peer.rank} lost Myrinet"
+            )
+        fabric: "MyrinetFabric" = local.fabric  # type: ignore[assignment]
+        yield self.env.timeout(self.proc.calibration.qp_setup_s)
+        endpoint = fabric.open_endpoint(local, remote)
+        self._endpoints[peer.rank] = endpoint
+        return endpoint
+
+    def send(self, peer: "MpiProcess", message: "Message"):
+        endpoint = yield from self._endpoint_for(peer)
+        cal = self.proc.calibration
+        yield from self.rendezvous(peer, message)
+        yield self.env.timeout(cal.myrinet_latency_s)
+        if message.nbytes > 0:
+            try:
+                flow = endpoint.send(
+                    message.nbytes, label=f"mpi.{message.src}->{message.dst}"
+                )
+            except (LinkDownError, NetworkError) as err:
+                endpoint.close()
+                self._broken_peers.add(peer.rank)
+                raise BtlUnreachableError(
+                    f"mx: rank {self.proc.rank}->{peer.rank}: {err}"
+                ) from err
+            yield flow.done
+        self.sends += 1
+        self.bytes_sent += message.nbytes
+        peer.deliver(message)
+
+    def prepare_checkpoint(self) -> None:
+        """MX endpoints cannot survive a checkpoint: die entirely."""
+        self.finalize()
+
+    def finalize(self) -> None:
+        for endpoint in self._endpoints.values():
+            endpoint.close()
+        self._endpoints.clear()
+        super().finalize()

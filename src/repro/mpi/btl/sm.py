@@ -1,0 +1,44 @@
+"""The ``sm`` BTL: shared-memory transport for ranks in the same VM.
+
+With 8 processes per VM (Figure 8b) intra-VM traffic never touches the
+interconnect — it is a memcpy through a shared segment, paced by guest
+memory bandwidth and unaffected by migration (the segment moves with the
+VM's RAM).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mpi.btl.base import Btl, DEFAULT_REGISTRY
+from repro.units import usec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import MpiProcess
+    from repro.mpi.datatypes import Message
+
+
+@DEFAULT_REGISTRY.register
+class SmBtl(Btl):
+    """Shared-memory transport (same guest only)."""
+
+    name = "sm"
+    exclusivity = 65536
+
+    #: Copy-in + copy-out latency floor.
+    LATENCY_S = usec(0.6)
+
+    @classmethod
+    def usable(cls, proc: "MpiProcess") -> bool:
+        return True
+
+    def reaches(self, peer: "MpiProcess") -> bool:
+        return peer.vm is self.proc.vm and peer is not self.proc
+
+    def send(self, peer: "MpiProcess", message: "Message"):
+        # Double copy through the shared segment at memory bandwidth.
+        copy_Bps = self.proc.calibration.mem_write_Bps / 2.0
+        yield self.env.timeout(self.LATENCY_S + message.nbytes / copy_Bps)
+        self.sends += 1
+        self.bytes_sent += message.nbytes
+        peer.deliver(message)

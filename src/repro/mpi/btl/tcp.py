@@ -1,0 +1,109 @@
+"""The ``tcp`` BTL: MPI over TCP/IP (virtio_net on the Ethernet path).
+
+Exclusivity 100 — the universal fallback.  Throughput pays the TCP/virtio
+CPU tax on both hosts, so under CPU overcommit (Figure 8's consolidated
+phase) this transport slows down with the application.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import BtlUnreachableError
+from repro.mpi.btl.base import Btl, DEFAULT_REGISTRY
+from repro.network.tcp import TcpConnection, TcpEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import MpiProcess
+    from repro.mpi.datatypes import Message
+
+
+def _endpoint(proc: "MpiProcess") -> TcpEndpoint:
+    """Build the proc's TCP endpoint over its virtio uplink."""
+    kernel = proc.vm.kernel
+    if kernel is None:
+        raise BtlUnreachableError(f"rank {proc.rank}: guest not booted")
+    iface = kernel.eth_interface()
+    port = iface.driver.port
+    if port is None:
+        raise BtlUnreachableError(f"rank {proc.rank}: eth backend missing")
+    cal = proc.calibration
+    node = proc.vm.host_node()
+    return TcpEndpoint(
+        port=port,
+        cpu=node.cpu,
+        stream_cap_Bps=cal.virtio_tcp_stream_Bps,
+        node=node,
+    )
+
+
+@DEFAULT_REGISTRY.register
+class TcpBtl(Btl):
+    """TCP/IP transport through the para-virtual NIC."""
+
+    name = "tcp"
+    exclusivity = 100
+
+    def __init__(self, proc: "MpiProcess") -> None:
+        super().__init__(proc)
+        self._conns: Dict[int, TcpConnection] = {}
+
+    @classmethod
+    def usable(cls, proc: "MpiProcess") -> bool:
+        kernel = proc.vm.kernel
+        if kernel is None:
+            return False
+        try:
+            return kernel.eth_interface().is_up
+        except Exception:
+            return False
+
+    def reaches(self, peer: "MpiProcess") -> bool:
+        if peer.vm is self.proc.vm:
+            return False  # sm handles co-located ranks
+        return self.usable(self.proc) and type(self).usable(peer)
+
+    def _conn_for(self, peer: "MpiProcess"):
+        """Lazily connect to ``peer`` (generator).
+
+        Endpoints are rebuilt per connection because migration changes the
+        backing host NIC and the peer's placement.
+        """
+        conn = self._conns.get(peer.rank)
+        if conn is not None and conn.established:
+            # Placement changes invalidate cached connections.
+            if (
+                conn.local.port is _endpoint(self.proc).port
+                and conn.remote.port is _endpoint(peer).port
+            ):
+                return conn
+            conn.close()
+        local = _endpoint(self.proc)
+        remote = _endpoint(peer)
+        conn = yield from TcpConnection.connect(
+            self.env, local, remote, self.proc.calibration
+        )
+        self._conns[peer.rank] = conn
+        return conn
+
+    def rtt_s(self, peer: "MpiProcess") -> float:
+        return 2.0 * self.proc.calibration.eth_latency_s
+
+    def send(self, peer: "MpiProcess", message: "Message"):
+        conn = yield from self._conn_for(peer)
+        yield from self.rendezvous(peer, message)
+        if message.nbytes > 0:
+            yield conn.send(message.nbytes, label=f"mpi.{message.src}->{message.dst}")
+        self.sends += 1
+        self.bytes_sent += message.nbytes
+        peer.deliver(message)
+
+    def prepare_checkpoint(self) -> None:
+        """Close sockets (unsaveable) but keep the module alive."""
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()
+
+    def finalize(self) -> None:
+        self.prepare_checkpoint()
+        super().finalize()

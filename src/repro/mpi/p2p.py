@@ -1,0 +1,81 @@
+"""Point-to-point plumbing: message matching and outstanding-send tracking.
+
+The matching engine is a filtered mailbox per process: envelopes deposited
+by BTL modules wait until a matching receive is posted (source/tag
+wildcards supported).  Receives are *cancellable* so the progress engine
+can abandon a blocked receive to service a checkpoint request — without
+this, a rank blocked in ``MPI_Recv`` would deadlock the CRCP quiesce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.mpi.datatypes import Message
+from repro.sim.events import Event
+from repro.sim.resources import Store, StoreGet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class MatchingEngine:
+    """Receive-side matching for one MPI process."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._mailbox = Store(env)
+        #: Envelopes delivered / matched (diagnostics).
+        self.delivered = 0
+        self.matched = 0
+
+    def deliver(self, message: Message) -> None:
+        """Transport completed: enqueue the envelope for matching."""
+        self.delivered += 1
+        self._mailbox.put(message)
+
+    def post_recv(self, src: int, tag: int, comm_id: int) -> StoreGet:
+        """Post a receive; the returned (cancellable) event yields the message."""
+
+        def _match(message: Message) -> bool:
+            return message.comm_id == comm_id and message.matches(src, tag)
+
+        return self._mailbox.get(_match)
+
+    def pending_count(self) -> int:
+        """Unexpected messages currently queued."""
+        return len(self._mailbox)
+
+
+class SendTracker:
+    """Tracks in-flight (non-blocking) sends so quiesce can drain them.
+
+    The CRCP coordination protocol must reach a state with no in-flight
+    traffic before checkpointing; :meth:`drain` is the event it waits on.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._outstanding: Set[Event] = set()
+        self.total_sends = 0
+
+    def track(self, done: Event) -> Event:
+        """Register an in-flight send completion event."""
+        self.total_sends += 1
+        self._outstanding.add(done)
+        done.wait(lambda ev: self._outstanding.discard(ev))
+        return done
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    def drain(self) -> Event:
+        """Event firing once every tracked send has completed."""
+        if not self._outstanding:
+            event = Event(self.env)
+            event.succeed()
+            return event
+        from repro.sim.events import AllOf
+
+        return AllOf(self.env, list(self._outstanding))

@@ -1,0 +1,38 @@
+"""Interconnect substrate: topologies, flow-level transfers, fabrics.
+
+Two fabric families reproduce the paper's heterogeneity:
+
+* :class:`~repro.network.infiniband.InfiniBandFabric` — QDR IB with a
+  subnet manager, LIDs, queue pairs, and the ~30 s POLLING→ACTIVE port
+  link-up that dominates Table II; used by VMM-bypass HCAs (zero CPU cost).
+* :class:`~repro.network.ethernet.EthernetFabric` — 10 GbE with TCP
+  connections (:mod:`repro.network.tcp`) whose throughput is CPU-coupled,
+  reproducing the consolidation slowdown of Figure 8.
+
+Transfers are flow-level: concurrent flows share directed link capacity
+max-min fairly (:mod:`repro.network.flows`).
+"""
+
+from repro.network.ethernet import EthernetFabric
+from repro.network.fabric import Fabric, Port, PortState
+from repro.network.flows import Flow, FlowNetwork
+from repro.network.infiniband import InfiniBandFabric, QueuePair, SubnetManager
+from repro.network.links import Link
+from repro.network.tcp import TcpConnection, TcpEndpoint
+from repro.network.topology import Topology
+
+__all__ = [
+    "EthernetFabric",
+    "Fabric",
+    "Flow",
+    "FlowNetwork",
+    "InfiniBandFabric",
+    "Link",
+    "Port",
+    "PortState",
+    "QueuePair",
+    "SubnetManager",
+    "TcpConnection",
+    "TcpEndpoint",
+    "Topology",
+]

@@ -1,0 +1,143 @@
+"""TCP connection model with CPU-coupled throughput.
+
+The paper's Ethernet path is TCP/IP through para-virtual ``virtio_net``
+devices.  Two effects matter for its experiments:
+
+* **per-stream throughput** is well under 10 GbE line rate (protocol +
+  virtio overhead) — modelled as a per-flow rate cap; and
+* **the stack burns CPU** on both ends.  Under CPU overcommit (two VMs per
+  host in Figure 8's "2 hosts (TCP)" phase) the send/receive processing
+  competes with application compute, which is the "low performance caused
+  by a lot of CPU contention" the paper observes.
+
+A transfer therefore completes only when both the network flow *and* the
+endpoint CPU work are done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NetworkError
+from repro.network.fabric import Fabric, Port, PortState
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+    from repro.hardware.calibration import Calibration
+    from repro.hardware.cpu import HostCpu
+
+
+@dataclass
+class TcpEndpoint:
+    """One side of a TCP connection.
+
+    Parameters
+    ----------
+    port:
+        The fabric port carrying the traffic (virtio uplink or host NIC).
+    cpu:
+        Host CPU that pays the stack cost; ``None`` disables CPU coupling
+        (used for flows whose CPU budget is modelled elsewhere, e.g. the
+        migration thread's 1.3 Gbps cap).
+    stream_cap_Bps:
+        Per-stream throughput ceiling.
+    """
+
+    port: Port
+    cpu: Optional["HostCpu"] = None
+    stream_cap_Bps: float = float("inf")
+    #: The hosting node, when known — enables busy-poll overcommit
+    #: dilation of the stack cost (guest endpoints set this).
+    node: Optional[object] = None
+
+    @property
+    def fabric(self) -> Fabric:
+        return self.port.fabric
+
+
+class TcpConnection:
+    """An established TCP connection between two endpoints."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        local: TcpEndpoint,
+        remote: TcpEndpoint,
+        calibration: "Calibration",
+    ) -> None:
+        if local.fabric is not remote.fabric:
+            raise NetworkError("TCP endpoints must share a fabric")
+        self.env = env
+        self.local = local
+        self.remote = remote
+        self.calibration = calibration
+        self.established = False
+        self.bytes_sent = 0.0
+
+    @classmethod
+    def connect(
+        cls,
+        env: "Environment",
+        local: TcpEndpoint,
+        remote: TcpEndpoint,
+        calibration: "Calibration",
+    ):
+        """Three-way handshake; yields, returns the connection.
+
+        Use from a process::
+
+            conn = yield from TcpConnection.connect(env, a, b, cal)
+        """
+        conn = cls(env, local, remote, calibration)
+        rtt = 2.0 * local.fabric.latency(local.port, remote.port)
+        yield env.timeout(calibration.tcp_connect_s + 1.5 * rtt)
+        for endpoint in (local, remote):
+            if endpoint.port.state is not PortState.ACTIVE:
+                raise NetworkError(f"connect failed: {endpoint.port.name} down")
+        conn.established = True
+        return conn
+
+    def send(self, nbytes: float, label: str = "") -> Event:
+        """Transfer ``nbytes`` local→remote; event fires at completion.
+
+        Completion requires the network flow (capped at the stream rate)
+        and the per-endpoint CPU processing to both finish.
+        """
+        if not self.established:
+            raise NetworkError("send on unestablished connection")
+        done = Event(self.env)
+        self.env.process(self._send_proc(nbytes, label, done), name=f"tcp.send.{label}")
+        return done
+
+    def _send_proc(self, nbytes: float, label: str, done: Event):
+        cap = min(self.local.stream_cap_Bps, self.remote.stream_cap_Bps)
+        latency = self.local.fabric.latency(self.local.port, self.remote.port)
+        yield self.env.timeout(latency + self.calibration.eth_latency_s)
+        waits = []
+        flow = self.local.fabric.transfer(
+            self.local.port, self.remote.port, nbytes, cap_Bps=cap, label=label or "tcp"
+        )
+        waits.append(flow.done)
+        base_cpu_seconds = nbytes / self.calibration.tcp_cpu_Bps_per_core
+        max_cores = self.calibration.tcp_cpu_max_cores
+        for endpoint in (self.local, self.remote):
+            cpu_seconds = base_cpu_seconds
+            if endpoint.node is not None:
+                cpu_seconds *= endpoint.node.contention_factor(  # type: ignore[attr-defined]
+                    self.calibration.busy_poll_overcommit_exponent
+                )
+            if endpoint.cpu is not None and cpu_seconds > 0:
+                # The stack work of one stream spreads over up to
+                # ``max_cores`` contexts (guest vCPU + vhost thread).
+                task = endpoint.cpu.run_task(
+                    cpu_seconds, max_cores=max_cores, label=f"tcp:{label}"
+                )
+                waits.append(task.done)
+        yield self.env.all_of(waits)
+        self.bytes_sent += nbytes
+        done.succeed(nbytes)
+
+    def close(self) -> None:
+        self.established = False

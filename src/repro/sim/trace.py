@@ -1,0 +1,130 @@
+"""Structured tracing of simulation events.
+
+Components emit :class:`TraceRecord` entries ("vm3 paused", "BTL tcp
+selected", "migration round 2: 1.2 GiB") through a shared :class:`Tracer`.
+The experiment harnesses use traces to build the phase breakdowns the
+paper's figures report (hotplug / link-up / migration / application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    event: str
+    fields: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:10.4f}] {self.category:<12} {self.event} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the tracer drops everything (zero overhead paths
+        keep calling :meth:`emit`; it returns immediately).
+    categories:
+        If given, only these categories are recorded.
+    sink:
+        Optional callable invoked with each record (e.g. ``print``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self.sink = sink
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
+        """Record one entry (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        record = TraceRecord(time=time, category=category, event=event, fields=fields)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def select(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given category/event."""
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if event is not None and record.event != event:
+                continue
+            yield record
+
+    def first(self, category: str, event: str) -> Optional[TraceRecord]:
+        """First matching record, or ``None``."""
+        return next(self.select(category, event), None)
+
+    def last(self, category: str, event: str) -> Optional[TraceRecord]:
+        """Last matching record, or ``None``."""
+        result = None
+        for record in self.select(category, event):
+            result = record
+        return result
+
+    def span(self, category: str, start_event: str, end_event: str) -> Optional[float]:
+        """Duration between the first ``start_event`` and first ``end_event``."""
+        start = self.first(category, start_event)
+        end = self.first(category, end_event)
+        if start is None or end is None:
+            return None
+        return end.time - start.time
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def to_jsonl(self) -> str:
+        """Serialize all records as JSON Lines (one record per line)."""
+        import json
+
+        lines = []
+        for record in self.records:
+            lines.append(
+                json.dumps(
+                    {
+                        "time": record.time,
+                        "category": record.category,
+                        "event": record.event,
+                        **{k: _jsonable(v) for k, v in record.fields.items()},
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for trace field values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

@@ -1,0 +1,11 @@
+"""Shared storage substrate (the paper's NFS server).
+
+The testbed keeps VM images on NFSv3 so live migration moves only memory
+and device state; the same store holds checkpointed VM images ("the VM
+image was created using the qcow2 format which enabled us to make
+snapshots internally" — Section IV-A).
+"""
+
+from repro.storage.nfs import NfsServer, StoredImage
+
+__all__ = ["NfsServer", "StoredImage"]

@@ -1,0 +1,22 @@
+"""SymVirt: symbiotic virtualization (the paper's prior work, Section III-B).
+
+Three components cooperate to park, manipulate, and resume a distributed
+set of VMs:
+
+* :class:`~repro.symvirt.coordinator.SymVirtCoordinator` — lives inside
+  each MPI process (``libsymvirt.so`` via LD_PRELOAD); hooks the OPAL CRS
+  SELF callbacks and issues ``symvirt_wait`` hypercalls;
+* :class:`~repro.symvirt.controller.Controller` — the master program on
+  the VMM side, exposing exactly the script API of the paper's Figure 5
+  (``wait_all`` / ``signal`` / ``device_detach`` / ``device_attach`` /
+  ``migration`` / ``quit`` / ``close``);
+* :class:`~repro.symvirt.agent.SymVirtAgent` — one per QEMU, driving the
+  monitor via QMP.
+"""
+
+from repro.symvirt.agent import SymVirtAgent
+from repro.symvirt.config import SymVirtConfig
+from repro.symvirt.controller import Controller
+from repro.symvirt.coordinator import SymVirtCoordinator
+
+__all__ = ["Controller", "SymVirtAgent", "SymVirtConfig", "SymVirtCoordinator"]

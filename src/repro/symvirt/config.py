@@ -1,0 +1,50 @@
+"""SymVirt configuration: hostlists and VM placement lookup.
+
+The paper's Figure 5 script does ``from symvirt import config`` and uses
+``config.ib_hostlist`` / ``config.eth_hostlist``.  Here the config object
+resolves hostnames to the QEMU processes currently on them, so controller
+scripts can keep speaking in hostnames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.errors import SymVirtError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.vmm.qemu import QemuProcess
+
+
+@dataclass
+class SymVirtConfig:
+    """Hostlists plus the cluster they refer to."""
+
+    cluster: "Cluster"
+    ib_hostlist: List[str] = field(default_factory=list)
+    eth_hostlist: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster") -> "SymVirtConfig":
+        """Derive hostlists from cabling (IB-cabled vs Ethernet-only)."""
+        return cls(
+            cluster=cluster,
+            ib_hostlist=[n.name for n in cluster.ib_nodes()],
+            eth_hostlist=[n.name for n in cluster.eth_only_nodes()],
+        )
+
+    def vms_on(self, hostlist: List[str]) -> List["QemuProcess"]:
+        """All QEMU processes currently running on the listed hosts."""
+        vms: List["QemuProcess"] = []
+        for host in hostlist:
+            vms.extend(self.cluster.node(host).vms)
+        return vms
+
+    def validate(self) -> None:
+        for host in self.ib_hostlist:
+            if not self.cluster.node(host).has_infiniband:
+                raise SymVirtError(f"{host} is in ib_hostlist but has no cabled HCA")
+        for host in self.eth_hostlist:
+            self.cluster.node(host)  # existence check

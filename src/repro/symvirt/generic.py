@@ -1,0 +1,159 @@
+"""Generic guest-cooperative migration, independent of an MPI runtime.
+
+Section VII: "we will design and implement a generic communication layer
+to support a guest OS cooperative migration based on a SymVirt mechanism,
+which is independent on an MPI runtime system.  This will bring the
+benefit of an interconnect-transparent migration to wide-ranging
+applications."
+
+This module is that layer: any application running in the guests can
+join the SymVirt park/resume protocol by registering two callbacks —
+*prepare* (quiesce: drain requests, close transport state that cannot
+survive) and *resume* (reconnect over whatever interconnect the new
+placement offers).  A :class:`GenericJob` quacks like
+:class:`~repro.mpi.runtime.MpiJob` for the purposes of
+:class:`~repro.core.ninja.NinjaMigration`, so the full Ninja sequence —
+plans, phase accounting, hotplug, link-up — works unchanged for non-MPI
+services.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.errors import SymVirtError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.vmm.qemu import QemuProcess
+
+#: Callbacks are generator functions taking the coordinator.
+Callback = Callable[["GenericCoordinator"], object]
+
+
+class GenericCoordinator:
+    """One application context inside a guest, joined to SymVirt.
+
+    The application polls :meth:`park_if_requested` at its own safe
+    points (between requests, at loop boundaries) — the generic analogue
+    of the MPI library servicing a checkpoint at the next MPI call.
+    """
+
+    def __init__(
+        self,
+        qemu: "QemuProcess",
+        prepare: Optional[Callback] = None,
+        resume: Optional[Callback] = None,
+        name: str = "svc",
+    ) -> None:
+        self.qemu = qemu
+        self.env = qemu.env
+        self.vm = qemu.vm
+        self.name = name
+        self.prepare = prepare
+        self.resume = resume
+        self.job: Optional["GenericJob"] = None
+        self._serviced_round = 0
+        self._waiters: List[Event] = []
+        #: Completed park/resume cycles (diagnostics).
+        self.cycles = 0
+        self.vm.hypercall.register(1)
+
+    # -- request plumbing -------------------------------------------------------
+
+    @property
+    def park_pending(self) -> bool:
+        return self.job is not None and self.job.round_id > self._serviced_round
+
+    def park_event(self) -> Event:
+        """Event firing when a park is (or becomes) pending — lets a
+        service blocked on I/O race it, like the MPI recv path."""
+        event = Event(self.env)
+        if self.park_pending:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _notify(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    # -- the protocol --------------------------------------------------------------
+
+    def park_if_requested(self):
+        """Run prepare → round A → round B → confirm link-up → resume."""
+        if not self.park_pending:
+            return
+        assert self.job is not None
+        self._serviced_round = self.job.round_id
+        channel = self.vm.hypercall
+        if self.prepare is not None:
+            yield from self.prepare(self)
+        # Round A (controller: detach) and round B (migrate/attach).
+        yield from channel.symvirt_wait()
+        yield from channel.symvirt_wait()
+        # Confirm link-up, exactly like libsymvirt's continue callback.
+        kernel = self.vm.kernel
+        if kernel is not None:
+            iface = kernel.ib_interface()
+            if iface is not None and not iface.is_up:
+                yield iface.driver.wait_link_up()
+        if self.resume is not None:
+            yield from self.resume(self)
+        self.cycles += 1
+
+
+class GenericJob:
+    """A set of coordinators forming one migratable service.
+
+    Duck-types the slice of :class:`~repro.mpi.runtime.MpiJob` that
+    :class:`~repro.core.ninja.NinjaMigration` consumes
+    (``request_checkpoint`` plus liveness accounting).
+    """
+
+    def __init__(self, cluster: "Cluster", coordinators: List[GenericCoordinator]) -> None:
+        if not coordinators:
+            raise SymVirtError("a generic job needs at least one coordinator")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.coordinators = list(coordinators)
+        for coordinator in self.coordinators:
+            if coordinator.job is not None:
+                raise SymVirtError(f"{coordinator.name}: already in a job")
+            coordinator.job = self
+        self.round_id = 0
+        #: Service main processes (registered via :meth:`launch`).
+        self._processes: List[Event] = []
+
+    @property
+    def size(self) -> int:
+        return len(self.coordinators)
+
+    @property
+    def live_ranks(self) -> int:
+        if not self._processes:
+            # Services without registered mains are assumed resident.
+            return self.size
+        return sum(1 for p in self._processes if p.is_alive)
+
+    def launch(self, mains: List) -> List[Event]:
+        """Start service main generators (optional but enables liveness)."""
+        self._processes = [self.env.process(m) for m in mains]
+        return self._processes
+
+    def request_checkpoint(self) -> int:
+        """Deliver a park request to every coordinator (Ninja's trigger)."""
+        if self._processes and self.live_ranks < self.size:
+            raise SymVirtError(
+                f"park requested with {self.live_ranks}/{self.size} services "
+                "running — every coordinator must participate"
+            )
+        self.round_id += 1
+        for coordinator in self.coordinators:
+            coordinator._notify()
+        self.cluster.trace("symvirt.generic", "park_requested", round=self.round_id)
+        return self.round_id

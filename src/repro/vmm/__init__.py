@@ -1,0 +1,43 @@
+"""QEMU/KVM substrate: VMs, guest memory, QMP, hotplug, live migration.
+
+This package reproduces the hypervisor mechanics Ninja migration drives:
+
+* page-granular guest RAM with dirty tracking and uniform-page
+  ("zero page") compression (:mod:`repro.vmm.guest_memory`);
+* the QEMU monitor protocol commands the SymVirt agents issue —
+  ``migrate``, ``device_add``, ``device_del`` (:mod:`repro.vmm.qmp`);
+* ACPI PCI hotplug with the guest-side ``acpiphp`` handshake
+  (:mod:`repro.vmm.hotplug`);
+* VMM-bypass (VFIO) device assignment, including the migration blocker it
+  creates (:mod:`repro.vmm.passthrough`);
+* single-threaded precopy live migration with the paper's ≤ 1.3 Gbps CPU
+  bottleneck (:mod:`repro.vmm.migration`);
+* the guest→VMM hypercall channel SymVirt is built on
+  (:mod:`repro.vmm.hypercall`).
+"""
+
+from repro.vmm.guest_memory import GuestMemory, PageClass
+from repro.vmm.hotplug import AcpiHotplugController
+from repro.vmm.hypercall import HypercallChannel
+from repro.vmm.migration import MigrationJob, MigrationStats
+from repro.vmm.passthrough import PassthroughAssignment
+from repro.vmm.qemu import QemuProcess
+from repro.vmm.qmp import QmpClient, QmpServer
+from repro.vmm.virtio import create_virtio_nic
+from repro.vmm.vm import RunState, VirtualMachine
+
+__all__ = [
+    "AcpiHotplugController",
+    "GuestMemory",
+    "HypercallChannel",
+    "MigrationJob",
+    "MigrationStats",
+    "PageClass",
+    "PassthroughAssignment",
+    "QemuProcess",
+    "QmpClient",
+    "QmpServer",
+    "RunState",
+    "VirtualMachine",
+    "create_virtio_nic",
+]

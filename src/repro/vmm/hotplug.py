@@ -1,0 +1,108 @@
+"""ACPI PCI hotplug: the detach/attach handshake Ninja migration times.
+
+The sequence mirrors the real ``acpiphp`` path the paper uses:
+
+attach (``device_add``)
+    QEMU seats the function → ACPI bus-check notification → guest
+    ``acpiphp`` powers the slot and scans → the driver (mlx4 / virtio_net)
+    probes and begins link training.
+
+detach (``device_del``)
+    QEMU raises an ACPI eject request → guest unbinds the driver and
+    powers off the slot → QEMU completes the removal.
+
+Durations come from :class:`~repro.hardware.calibration.Calibration`
+(Table II decomposition).  When a node-to-node migration is part of the
+same Ninja sequence, "migration noise" dilates the hotplug primitives by
+``migration_noise_factor`` (Figure 6's ≈ 3× observation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import HotplugError
+from repro.hardware.pci import PciDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vmm.qemu import QemuProcess
+
+
+class AcpiHotplugController:
+    """Per-VM hotplug state machine (the VMM half of acpiphp)."""
+
+    def __init__(self, qemu: "QemuProcess") -> None:
+        self.qemu = qemu
+        self.env = qemu.env
+        self.calibration = qemu.calibration
+        #: Multiplier applied to primitive durations ("migration noise").
+        self.noise_factor = 1.0
+        #: Completed operation log: (time, op, device tag).
+        self.log: list[tuple[float, str, str]] = []
+
+    # -- timing ---------------------------------------------------------------
+
+    def _attach_time(self, device: PciDevice) -> float:
+        cal = self.calibration
+        base = {
+            "infiniband-hca": cal.ib_attach_s,
+            "myrinet-nic": cal.myrinet_attach_s,
+        }.get(device.kind, cal.virtio_attach_s)
+        return base * self.noise_factor
+
+    def _detach_time(self, device: PciDevice) -> float:
+        cal = self.calibration
+        base = {
+            "infiniband-hca": cal.ib_detach_s,
+            "myrinet-nic": cal.myrinet_detach_s,
+        }.get(device.kind, cal.virtio_detach_s)
+        return base * self.noise_factor
+
+    def confirm_time(self) -> float:
+        """Guest-side confirmation cost, paid once per hotplug round."""
+        return self.calibration.hotplug_confirm_s * self.noise_factor
+
+    # -- operations (generators; drive with ``yield from``) ---------------------
+
+    def attach(self, assignment) -> object:
+        """Hot-attach a passthrough function; returns the guest device.
+
+        Sequence: seat on guest bus → ACPI notify → acpiphp scan → driver
+        probe.  Link training (the separate "link-up" phase the paper
+        measures) starts at the end and is awaited by the caller via the
+        guest driver, not here.
+        """
+        kernel = self.qemu.vm.kernel
+        if kernel is None:
+            raise HotplugError(f"{self.qemu.vm.name}: guest not booted")
+        assignment.seat()
+        function = assignment.function
+        yield self.env.timeout(self._attach_time(function))
+        kernel.device_added(function)
+        self.log.append((self.env.now, "attach", assignment.tag))
+        return function
+
+    def detach(self, assignment) -> object:
+        """Hot-detach a passthrough function.
+
+        Sequence: ACPI eject request → guest driver unbind (port goes
+        DOWN, in-flight traffic must already be quiesced by upper layers)
+        → QEMU completes device_del.
+        """
+        kernel = self.qemu.vm.kernel
+        if kernel is None:
+            raise HotplugError(f"{self.qemu.vm.name}: guest not booted")
+        if not assignment.attached:
+            raise HotplugError(f"{assignment.tag}: not attached")
+        function = assignment.function
+        kernel.device_removing(function)
+        yield self.env.timeout(self._detach_time(function))
+        assignment.unseat()
+        self.log.append((self.env.now, "detach", assignment.tag))
+        return function
+
+    def confirm(self) -> object:
+        """Guest-side confirmation round (Figure 4's 'confirm' arrows)."""
+        yield self.env.timeout(self.confirm_time())
+        self.log.append((self.env.now, "confirm", ""))
+        return None

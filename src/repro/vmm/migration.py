@@ -1,0 +1,276 @@
+"""QEMU precopy live migration with the paper's performance characteristics.
+
+Model highlights (each anchored in the paper — see
+:mod:`repro.hardware.calibration`):
+
+* the migration thread is **single-threaded**: compressible ("dup") pages
+  cost a memory-scan (``page_scan_Bps``), full pages are CPU-bound at
+  ``migration_cpu_cap_Bps`` (≈ 1.3 Gbps, Section V);
+* **uniform pages compress to 9 wire bytes** — a memtest footprint barely
+  moves the needle (Fig. 6), a real dataset transfers in full (Fig. 7);
+* an **unpaused** guest keeps dirtying pages, so precopy iterates until
+  the remaining dirty set fits in the downtime budget; a **parked** guest
+  (SymVirt wait, the Ninja path) is a single pass;
+* a VM with a **passthrough device attached cannot migrate**
+  (:class:`~repro.errors.MigrationBlockedError`) — the constraint the
+  whole paper exists to lift.
+
+An optional RDMA transport (Section V's proposed optimization) removes the
+CPU cap and uses the IB fabric; it is exercised by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import MigrationBlockedError, MigrationError
+from repro.sim.events import Event
+from repro.vmm.vm import RunState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import PhysicalNode
+    from repro.vmm.qemu import QemuProcess
+
+
+@dataclass
+class RoundStats:
+    """Accounting for one precopy iteration."""
+
+    index: int
+    pages: int
+    dup_pages: int
+    data_pages: int
+    wire_bytes: float
+    duration_s: float
+    start_time: float
+
+
+@dataclass
+class MigrationStats:
+    """Aggregate migration outcome (query-migrate's ``ram`` section)."""
+
+    status: str = "none"  # none|active|completed|failed
+    rounds: list[RoundStats] = field(default_factory=list)
+    total_time_s: float = 0.0
+    downtime_s: float = 0.0
+    wire_bytes: float = 0.0
+    scanned_pages: int = 0
+    dup_pages: int = 0
+    data_pages: int = 0
+    setup_time_s: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def throughput_Bps(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.wire_bytes / self.total_time_s
+
+
+class MigrationJob:
+    """One migration of a VM from its current node to ``dst_node``."""
+
+    def __init__(
+        self,
+        qemu: "QemuProcess",
+        dst_node: "PhysicalNode",
+        rdma: bool = False,
+    ) -> None:
+        self.qemu = qemu
+        self.env = qemu.env
+        self.calibration = qemu.calibration
+        self.dst_node = dst_node
+        self.rdma = rdma
+        self.stats = MigrationStats()
+        self.done = Event(self.env)
+        self._process = None
+
+    # -- public ------------------------------------------------------------------
+
+    def start(self) -> "MigrationJob":
+        """Validate preconditions and launch the migration process."""
+        if self.qemu.migration_blockers:
+            blockers = ", ".join(sorted(self.qemu.migration_blockers))
+            raise MigrationBlockedError(
+                f"{self.qemu.vm.name}: migration blocked by assigned device(s): "
+                f"{blockers} — detach them first (this is the constraint Ninja "
+                f"migration works around)"
+            )
+        if self.qemu.vm.state is RunState.SHUTOFF:
+            raise MigrationError(f"{self.qemu.vm.name}: VM is not running")
+        if self.dst_node.free_memory < self.qemu.vm.memory.size_bytes:
+            raise MigrationError(
+                f"{self.dst_node.name}: insufficient free RAM for "
+                f"{self.qemu.vm.name}"
+            )
+        self.stats.status = "active"
+        self._process = self.env.process(self._run(), name=f"migrate.{self.qemu.vm.name}")
+        return self
+
+    # -- internals -------------------------------------------------------------------
+
+    def _guest_parked(self) -> bool:
+        """True when the guest generates no dirty pages (SymVirt park/pause)."""
+        vm = self.qemu.vm
+        if vm.state is RunState.PAUSED:
+            return True
+        channel = vm.hypercall
+        return channel is not None and channel.parked
+
+    @property
+    def _transfer_cap_Bps(self) -> float:
+        """Effective data-transfer rate: QMP migrate_set_speed, clamped by
+        the single-thread CPU ceiling."""
+        cap = self.calibration.migration_cpu_cap_Bps
+        if self.qemu.migration_speed_Bps is not None:
+            cap = min(cap, self.qemu.migration_speed_Bps)
+        return cap
+
+    @property
+    def _max_downtime_s(self) -> float:
+        if self.qemu.migration_max_downtime_s is not None:
+            return self.qemu.migration_max_downtime_s
+        return self.calibration.max_downtime_s
+
+    def _round_cost(self, mask: Optional[np.ndarray]) -> tuple[int, int, float, float]:
+        """(dup_pages, data_pages, wire_bytes, cpu_seconds) for a round."""
+        cal = self.calibration
+        memory = self.qemu.vm.memory
+        dup, data = memory.dup_and_data_pages(mask)
+        wire = dup * cal.dup_page_wire_bytes + data * (memory.page_size + cal.page_header_bytes)
+        if self.rdma:
+            # RDMA path: scan still costs memory bandwidth, transfer is
+            # offloaded (no 1.3 Gbps CPU cap).
+            cpu_seconds = (dup + data) * memory.page_size / cal.page_scan_Bps
+        else:
+            cpu_seconds = (
+                dup * memory.page_size / cal.page_scan_Bps
+                + data * memory.page_size / self._transfer_cap_Bps
+            )
+        return dup, data, wire, cpu_seconds
+
+    def _transfer(self, wire_bytes: float, cpu_seconds: float):
+        """Ship ``wire_bytes`` src→dst, CPU-paced; returns the flow."""
+        # The single migration thread paces the stream: the flow's cap is
+        # chosen so an uncontended network finishes in exactly cpu_seconds.
+        if cpu_seconds > 0:
+            eff_cap = max(wire_bytes, 1.0) / cpu_seconds
+        else:
+            eff_cap = float("inf")
+        src_node = self.qemu.node
+        if src_node is self.dst_node:
+            # Self-migration: loopback stream, no fabric involvement.
+            return self.qemu.loopback_flows.start([], wire_bytes, cap_Bps=eff_cap, label="migr")
+        if self.rdma:
+            fabric = self.qemu.ib_fabric_for_migration()
+        else:
+            fabric = self.qemu.eth_fabric
+        src = fabric.port(src_node.name)
+        dst = fabric.port(self.dst_node.name)
+        return fabric.transfer(src, dst, wire_bytes, cap_Bps=eff_cap, label=f"migr.{self.qemu.vm.name}")
+
+    def _run(self):
+        try:
+            stats = yield from self._run_inner()
+            return stats
+        except Exception as err:
+            # Mirror QEMU: a failed migration leaves the VM running on
+            # the source; query-migrate reports "failed".
+            self.stats.status = "failed"
+            memory = self.qemu.vm.memory
+            if memory.dirty_logging:
+                memory.stop_dirty_logging()
+            if self.qemu.vm.state is RunState.PAUSED:
+                self.qemu.vm.set_state(RunState.RUNNING)
+            self.qemu.trace("migration", "failed", error=str(err))
+            self.done.fail(err)
+            return self.stats
+
+    def _run_inner(self):
+        cal = self.calibration
+        vm = self.qemu.vm
+        memory = vm.memory
+        t_start = self.env.now
+        self.qemu.trace("migration", "start", dst=self.dst_node.name, rdma=self.rdma)
+
+        # Capability negotiation, dest QEMU spawn, NFS image handoff.
+        yield self.env.timeout(cal.migration_setup_s)
+        self.stats.setup_time_s = self.env.now - t_start
+
+        memory.start_dirty_logging()
+        mask: Optional[np.ndarray] = None  # round 0: full RAM traversal
+        forced_stop = False
+        downtime_started: Optional[float] = None
+
+        for round_index in range(cal.max_precopy_rounds + 2):
+            npages = memory.npages if mask is None else int(mask.sum())
+            dup, data, wire, cpu_seconds = self._round_cost(mask)
+            t_round = self.env.now
+            if npages > 0:
+                flow = self._transfer(wire, cpu_seconds)
+                yield flow.done
+            duration = self.env.now - t_round
+            self.stats.rounds.append(
+                RoundStats(round_index, npages, dup, data, wire, duration, t_round)
+            )
+            self.stats.wire_bytes += wire
+            self.stats.scanned_pages += npages
+            self.stats.dup_pages += dup
+            self.stats.data_pages += data
+
+            if forced_stop or self._guest_parked():
+                # Final pass already ran with the guest quiescent.
+                if self._guest_parked() and memory.dirty_page_count == 0:
+                    break
+                if forced_stop:
+                    break
+                # Parked guest but pages dirtied before the park landed:
+                # one more (still quiescent) pass.
+                mask = memory.snapshot_dirty()
+                if not mask.any():
+                    break
+                continue
+
+            # Guest still running: decide whether to enter stop-and-copy.
+            mask = memory.snapshot_dirty()
+            remaining = int(mask.sum())
+            if remaining == 0:
+                break
+            _, _, est_wire, est_cpu = self._round_cost(mask)
+            est_time = max(est_cpu, 0.0)
+            if est_time <= self._max_downtime_s or round_index >= cal.max_precopy_rounds:
+                # Stop-and-copy: pause the guest for the last round.
+                downtime_started = self.env.now
+                vm.set_state(RunState.PAUSED)
+                forced_stop = True
+
+        # Device state + CPU state blob (small, constant).
+        yield self.env.timeout(0.02)
+
+        memory.stop_dirty_logging()
+        if downtime_started is not None:
+            self.stats.downtime_s = self.env.now - downtime_started
+
+        # Switch-over: the VM now runs on the destination.
+        self.qemu.relocate(self.dst_node)
+        if vm.state is RunState.PAUSED:
+            vm.set_state(RunState.RUNNING)
+
+        self.stats.total_time_s = self.env.now - t_start
+        self.stats.status = "completed"
+        self.qemu.trace(
+            "migration",
+            "completed",
+            dst=self.dst_node.name,
+            seconds=round(self.stats.total_time_s, 3),
+            wire_bytes=int(self.stats.wire_bytes),
+            rounds=self.stats.iterations,
+        )
+        self.done.succeed(self.stats)
+        return self.stats

@@ -1,0 +1,74 @@
+"""VMM-bypass (VFIO-style) device assignment.
+
+A passthrough-assigned device gives the guest direct access to the
+hardware — zero virtualization overhead on the datapath — at the price the
+paper is built around: **QEMU cannot migrate a VM while a passthrough
+device is attached** (the device's DMA/interrupt state cannot be captured).
+The assignment therefore installs a *migration blocker* that
+:class:`~repro.vmm.migration.MigrationJob` refuses to start past, and Ninja
+migration must hot-detach the function first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import VmmError
+from repro.hardware.pci import PciDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.devices import NetworkDevice
+    from repro.network.fabric import Port
+    from repro.vmm.qemu import QemuProcess
+
+
+class PassthroughFunction(PciDevice):
+    """The guest-visible PCI function of an assigned host device.
+
+    The physical device stays in its host slot (bound to vfio-pci); the
+    guest sees this lightweight function whose traffic uses the backing
+    device's fabric port directly.
+    """
+
+    def __init__(self, backing: "NetworkDevice", tag: str) -> None:
+        super().__init__(backing.model, backing.kind)
+        self.backing = backing
+        self.tag = tag
+
+    @property
+    def port(self) -> Optional["Port"]:
+        return self.backing.port
+
+    @property
+    def spec(self):
+        return self.backing.spec
+
+
+class PassthroughAssignment:
+    """Tracks one host-device → VM assignment and its migration blocker."""
+
+    def __init__(self, qemu: "QemuProcess", backing: "NetworkDevice", tag: str) -> None:
+        if not backing.spec.sriov_capable:
+            raise VmmError(f"{backing.model!r} cannot be assigned (no VFIO support)")
+        self.qemu = qemu
+        self.backing = backing
+        self.tag = tag
+        self.function = PassthroughFunction(backing, tag)
+        self.attached = False
+
+    def seat(self) -> None:
+        """Expose the function on the guest PCI bus (QEMU device_add)."""
+        if self.attached:
+            raise VmmError(f"{self.tag}: already attached")
+        self.qemu.vm.guest_pci.attach(self.function)
+        self.function.tag = self.tag
+        self.qemu.add_migration_blocker(self.tag)
+        self.attached = True
+
+    def unseat(self) -> None:
+        """Remove the function from the guest (QEMU device_del completed)."""
+        if not self.attached:
+            raise VmmError(f"{self.tag}: not attached")
+        self.qemu.vm.guest_pci.detach(self.function)
+        self.qemu.remove_migration_blocker(self.tag)
+        self.attached = False

@@ -1,0 +1,165 @@
+"""The QEMU process: one VM instance hosted on a physical node.
+
+``QemuProcess`` owns the VM, its devices, the QMP monitor, the hotplug
+controller, and the hypercall channel.  For simplicity the object persists
+across migrations — a real migration spawns a destination QEMU and kills
+the source, but every observable the experiments measure (timing, device
+state, placement) is preserved by mutating :attr:`node` at switch-over.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import VmmError
+from repro.hardware.calibration import Calibration
+from repro.network.flows import FlowNetwork
+from repro.vmm.hotplug import AcpiHotplugController
+from repro.vmm.hypercall import HypercallChannel
+from repro.vmm.migration import MigrationJob
+from repro.vmm.passthrough import PassthroughAssignment
+from repro.vmm.qmp import QmpServer
+from repro.vmm.virtio import create_virtio_nic, rebind_backend
+from repro.vmm.vm import RunState, VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.hardware.devices import InfiniBandHca
+    from repro.hardware.node import PhysicalNode
+    from repro.network.ethernet import EthernetFabric
+    from repro.network.infiniband import InfiniBandFabric
+
+
+class QemuProcess:
+    """One ``qemu-system-x86_64`` instance and its monitor."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        node: "PhysicalNode",
+        name: str,
+        vcpus: int = 8,
+        memory_bytes: int = 20 * (1 << 30),
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.calibration: Calibration = cluster.calibration
+        self.node = node
+        node.reserve_memory(memory_bytes)
+        self.vm = VirtualMachine(self.env, name, vcpus, memory_bytes)
+        self.vm.qemu = self
+        self.vm.hypercall = HypercallChannel(
+            self.env, self.vm, self.calibration.hypercall_s
+        )
+        self.qmp = QmpServer(self)
+        self.hotplug = AcpiHotplugController(self)
+        #: Loopback flow engine for self-migration streams.
+        self.loopback_flows = FlowNetwork(self.env, name=f"{name}.loopback")
+        #: Device tags blocking migration (passthrough assignments).
+        self.migration_blockers: set[str] = set()
+        #: Active passthrough assignments by tag.
+        self.assignments: dict[str, PassthroughAssignment] = {}
+        self.virtio_nic = create_virtio_nic(self)
+        self.current_migration: Optional[MigrationJob] = None
+        #: Per-VM migration tunables (QMP migrate_set_speed/_downtime);
+        #: ``None`` falls back to the calibration defaults.
+        self.migration_speed_Bps: Optional[float] = None
+        self.migration_max_downtime_s: Optional[float] = None
+        node.register_vm(self)
+
+    # -- fabrics ---------------------------------------------------------------
+
+    @property
+    def eth_fabric(self) -> "EthernetFabric":
+        fabric = self.cluster.eth_fabric
+        if fabric is None:
+            raise VmmError("cluster has no Ethernet fabric wired")
+        return fabric
+
+    def ib_fabric_for_migration(self) -> "InfiniBandFabric":
+        fabric = self.cluster.ib_fabric
+        if fabric is None:
+            raise VmmError("RDMA migration requested but no IB fabric wired")
+        return fabric
+
+    # -- tracing ------------------------------------------------------------------
+
+    def trace(self, category: str, event: str, **fields: object) -> None:
+        self.cluster.tracer.emit(
+            self.env.now, category, event, vm=self.vm.name, node=self.node.name, **fields
+        )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Power on: guest kernel boots, resident set materializes.
+
+        Boot time itself is not modelled (experiments start from steady
+        state); what matters downstream is the kernel object and the
+        resident (non-compressible) memory it leaves behind.
+        """
+        from repro.guestos.kernel import GuestKernel  # avoid package cycle
+
+        if self.vm.kernel is not None:
+            raise VmmError(f"{self.vm.name}: already booted")
+        self.vm.memory.populate_resident(self.calibration.guest_os_resident_bytes)
+        self.vm.kernel = GuestKernel(self)
+        self.vm.set_state(RunState.RUNNING)
+        self.vm.kernel.boot()
+        self.trace("qemu", "boot")
+
+    def shutdown(self) -> None:
+        """Destroy the VM and release host resources."""
+        self.vm.set_state(RunState.SHUTOFF)
+        self.node.release_memory(self.vm.memory.size_bytes)
+        self.node.unregister_vm(self)
+        self.trace("qemu", "shutdown")
+
+    # -- passthrough --------------------------------------------------------------------
+
+    def assign_device(self, backing: "InfiniBandHca", tag: str) -> PassthroughAssignment:
+        """Create (but do not yet seat) a passthrough assignment."""
+        if tag in self.assignments:
+            raise VmmError(f"{self.vm.name}: duplicate assignment tag {tag!r}")
+        assignment = PassthroughAssignment(self, backing, tag)
+        self.assignments[tag] = assignment
+        return assignment
+
+    def assignment(self, tag: str) -> PassthroughAssignment:
+        try:
+            return self.assignments[tag]
+        except KeyError:
+            raise VmmError(f"{self.vm.name}: no assignment tagged {tag!r}") from None
+
+    def add_migration_blocker(self, tag: str) -> None:
+        self.migration_blockers.add(tag)
+
+    def remove_migration_blocker(self, tag: str) -> None:
+        self.migration_blockers.discard(tag)
+
+    # -- migration ----------------------------------------------------------------------
+
+    def migrate(self, dst_node: "PhysicalNode", rdma: bool = False) -> MigrationJob:
+        """Begin migrating the VM to ``dst_node`` (QMP ``migrate``)."""
+        if self.current_migration is not None and self.current_migration.stats.status == "active":
+            raise VmmError(f"{self.vm.name}: migration already in progress")
+        job = MigrationJob(self, dst_node, rdma=rdma)
+        job.start()
+        self.current_migration = job
+        return job
+
+    def relocate(self, dst_node: "PhysicalNode") -> None:
+        """Switch-over bookkeeping: the VM now lives on ``dst_node``."""
+        if dst_node is self.node:
+            return
+        size = self.vm.memory.size_bytes
+        src = self.node
+        src.release_memory(size)
+        src.unregister_vm(self)
+        dst_node.reserve_memory(size)
+        dst_node.register_vm(self)
+        self.node = dst_node
+        rebind_backend(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<QemuProcess {self.vm.name} on {self.node.name}>"

@@ -1,0 +1,38 @@
+"""Para-virtual virtio-net device creation.
+
+Every VM gets a virtio NIC bridged to its host's physical 10 GbE NIC.
+Unlike the passthrough HCA it survives migration (QEMU recreates the
+device on the destination), so the guest always has *some* network — the
+property the fallback path relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.devices import VirtioNic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vmm.qemu import QemuProcess
+
+_serial = [0]
+
+
+def create_virtio_nic(qemu: "QemuProcess") -> VirtioNic:
+    """Create a virtio NIC on the guest bus, backed by the host NIC."""
+    _serial[0] += 1
+    nic = VirtioNic(serial=_serial[0])
+    nic.backend = qemu.node.ethernet_nic()
+    nic.tag = f"virtio{_serial[0]}"
+    qemu.vm.guest_pci.attach(nic)
+    return nic
+
+
+def rebind_backend(qemu: "QemuProcess") -> None:
+    """Point the guest's virtio NICs at the (new) host's physical NIC.
+
+    Called after migration: the tap/bridge backend is host-local, so the
+    destination QEMU recreates it against its own NIC.
+    """
+    for device in qemu.vm.guest_pci.devices("virtio-nic"):
+        device.backend = qemu.node.ethernet_nic()  # type: ignore[attr-defined]

@@ -1,0 +1,29 @@
+"""MPI benchmark workloads used by the paper's experiments.
+
+* :class:`~repro.workloads.memtest.MemtestWorkload` — the memory-intensive
+  micro benchmark of Sections IV-B1/IV-B2 (sequential uniform writes over
+  a 2–16 GB array);
+* :class:`~repro.workloads.npb.NpbWorkload` — NAS Parallel Benchmarks
+  BT/CG/FT/LU models, class C/D (Section IV-B3);
+* :class:`~repro.workloads.bcast_reduce.BcastReduceLoop` — the Figure 8
+  workload: repeated 8 GB-per-node broadcast + reduce iterations.
+"""
+
+from repro.workloads.base import Workload, claim_region
+from repro.workloads.bcast_reduce import BcastReduceLoop
+from repro.workloads.memtest import MemtestWorkload
+from repro.workloads.npb import NPB_SUITE, NPB_SUITE_C, NpbSpec, NpbWorkload
+from repro.workloads.stencil import StencilConfig, StencilWorkload
+
+__all__ = [
+    "BcastReduceLoop",
+    "MemtestWorkload",
+    "NPB_SUITE",
+    "NPB_SUITE_C",
+    "NpbSpec",
+    "NpbWorkload",
+    "StencilConfig",
+    "StencilWorkload",
+    "Workload",
+    "claim_region",
+]

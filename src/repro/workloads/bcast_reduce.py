@@ -1,0 +1,85 @@
+"""The Figure 8 workload: repeated broadcast + reduce of 8 GB per node.
+
+"The benchmark program used was a simple MPI program that repeatedly
+broadcasts and reduces 8 GB data per a node. … The elapsed time of each
+iteration should decrease, as the performance of interconnection
+increases.  This is because MPI_Bcast and MPI_Reduce are dominant in the
+execution time."
+
+With ``procs_per_vm`` ranks on each VM the 8 GB node payload is split
+evenly, so the aggregate volume is placement-invariant — which is why the
+paper's total overhead is "identical as the number of processes per VM
+increases from 1 to 8".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.metrics import IterationSample, IterationSeries
+from repro.units import GB
+from repro.vmm.guest_memory import PageClass
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import CommView
+    from repro.mpi.runtime import MpiProcess
+
+
+class BcastReduceLoop(Workload):
+    """Stepped bcast+reduce loop with per-iteration timing.
+
+    Parameters
+    ----------
+    iterations:
+        Total steps (the paper runs 40: four phases of 10).
+    bytes_per_node:
+        Payload broadcast and reduced per VM per iteration (8 GB).
+    procs_per_vm:
+        Rank count per VM; per-rank payload is ``bytes_per_node / ppv``.
+    on_step:
+        Callback ``(step, elapsed_s)`` fired by comm-rank 0 after each
+        iteration — the Figure 8 harness uses it to trigger migrations at
+        steps 10/20/30 and to label phases.
+    phase_label:
+        Zero-arg callable returning the current phase label for samples.
+    """
+
+    name = "bcast_reduce"
+
+    def __init__(
+        self,
+        iterations: int = 40,
+        bytes_per_node: int = 8 * GB,
+        procs_per_vm: int = 1,
+        on_step: Optional[Callable[[int, float], None]] = None,
+        phase_label: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.iterations = iterations
+        self.bytes_per_node = int(bytes_per_node)
+        self.procs_per_vm = max(int(procs_per_vm), 1)
+        self.on_step = on_step
+        self.phase_label = phase_label
+        self.series = IterationSeries(label=f"bcast_reduce x{iterations}")
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return self.bytes_per_node // self.procs_per_vm
+
+    def rank_main(self, proc: "MpiProcess", comm: "CommView"):
+        # The send/receive buffers live in guest memory as real data —
+        # they transfer in full during a migration.
+        self.populate(proc, self.bytes_per_rank, PageClass.DATA)
+        yield from comm.barrier()
+        for step in range(1, self.iterations + 1):
+            t0 = proc.env.now
+            yield from comm.bcast(self.bytes_per_rank, root=0)
+            yield from comm.reduce(self.bytes_per_rank, root=0)
+            elapsed = proc.env.now - t0
+            if comm.rank == 0:
+                label = self.phase_label() if self.phase_label else ""
+                self.series.add(IterationSample(step=step, elapsed_s=elapsed, phase=label))
+                if self.on_step is not None:
+                    self.on_step(step, elapsed)
+        yield from comm.barrier()
+        return self.series if comm.rank == 0 else None

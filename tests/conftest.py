@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.calibration import PAPER_CALIBRATION
+from repro.hardware.cluster import build_agc_cluster
+from repro.sim.core import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def cluster():
+    """A small 2+2 AGC cluster (fast to build, covers both fabrics)."""
+    return build_agc_cluster(ib_nodes=2, eth_nodes=2)
+
+
+@pytest.fixture
+def cluster44():
+    """The 4+4 cluster used by scenario tests."""
+    return build_agc_cluster(ib_nodes=4, eth_nodes=4)
+
+
+@pytest.fixture
+def calibration():
+    return PAPER_CALIBRATION
+
+
+def drive(env: Environment, generator, name: str = "test"):
+    """Run ``generator`` as a process to completion; return its value."""
+    process = env.process(generator, name=name)
+    return env.run(until=process)
+
+
+@pytest.fixture
+def run():
+    """Fixture exposing the :func:`drive` helper."""
+    return drive

@@ -1,0 +1,161 @@
+"""Unit tests: migration plans, phase timelines, overhead metrics."""
+
+import pytest
+
+from repro.core.metrics import IterationSample, IterationSeries, OverheadBreakdown
+from repro.core.phases import PhaseTimeline
+from repro.core.plan import MigrationPlan
+from repro.errors import PlanError
+from repro.hardware.cluster import build_agc_cluster
+from repro.testbed import provision_vms
+from repro.units import GiB
+
+
+# -- PhaseTimeline ---------------------------------------------------------------
+
+
+def test_timeline_spans():
+    timeline = PhaseTimeline()
+    timeline.begin("detach", 1.0)
+    timeline.end("detach", 3.5)
+    timeline.begin("migration", 3.5)
+    timeline.end("migration", 40.0)
+    assert timeline.total("detach") == pytest.approx(2.5)
+    assert timeline.total("migration") == pytest.approx(36.5)
+    assert timeline.names() == ["detach", "migration"]
+
+
+def test_timeline_repeat_phase_sums():
+    timeline = PhaseTimeline()
+    for start in (0.0, 10.0):
+        timeline.begin("hotplug", start)
+        timeline.end("hotplug", start + 2.0)
+    assert timeline.total("hotplug") == pytest.approx(4.0)
+
+
+def test_timeline_misuse():
+    timeline = PhaseTimeline()
+    timeline.begin("x", 0.0)
+    with pytest.raises(ValueError):
+        timeline.begin("x", 1.0)
+    with pytest.raises(ValueError):
+        timeline.end("y", 1.0)
+
+
+def test_timeline_render():
+    timeline = PhaseTimeline()
+    timeline.begin("a", 0.0)
+    timeline.end("a", 1.0)
+    assert "a" in timeline.render()
+
+
+# -- OverheadBreakdown ----------------------------------------------------------------
+
+
+def test_breakdown_hotplug_composition():
+    b = OverheadBreakdown(detach_s=2.7, attach_s=1.05, confirm_s=0.115, migration_s=40.0, linkup_s=29.85)
+    assert b.hotplug_s == pytest.approx(3.865)
+    assert b.total_s == pytest.approx(73.715)
+    row = b.as_row()
+    assert row["hotplug"] == pytest.approx(3.865, abs=1e-3)
+
+
+def test_breakdown_from_timeline():
+    timeline = PhaseTimeline()
+    for name, dur in (("coordination", 0.1), ("detach", 2.7), ("migration", 40.0),
+                      ("attach", 1.05), ("confirm", 0.115), ("linkup", 29.85)):
+        timeline.begin(name, 0.0)
+        timeline.end(name, dur)
+    b = OverheadBreakdown.from_timeline(timeline)
+    assert b.migration_s == pytest.approx(40.0)
+    assert b.hotplug_s == pytest.approx(3.865)
+
+
+# -- IterationSeries ------------------------------------------------------------------------
+
+
+def test_series_phase_means_exclude_migration_steps():
+    series = IterationSeries(label="t")
+    series.add(IterationSample(step=1, elapsed_s=10.0, phase="IB"))
+    series.add(IterationSample(step=2, elapsed_s=90.0, overhead_s=80.0, phase="TCP"))
+    series.add(IterationSample(step=3, elapsed_s=30.0, phase="TCP"))
+    assert series.phase_means() == {"IB": 10.0, "TCP": 30.0}
+    assert series.migration_steps() == [2]
+    assert series.samples[1].application_s == pytest.approx(10.0)
+    assert "step" in series.render()
+
+
+# -- MigrationPlan ------------------------------------------------------------------------
+
+
+@pytest.fixture
+def setup():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=20 * GiB)
+    return cluster, vms
+
+
+def test_plan_auto_attach_resolution(setup):
+    cluster, vms = setup
+    plan = MigrationPlan.build(cluster, vms, ["eth01", "ib02"], attach_ib=None)
+    assert [e.attach_ib for e in plan.entries] == [False, True]
+
+
+def test_plan_wrap_consolidation(setup):
+    cluster, vms = setup
+    plan = MigrationPlan.build(cluster, vms, ["eth01"], attach_ib=False)
+    assert plan.dst_hostlist == ["eth01", "eth01"]
+    assert plan.is_node_to_node
+
+
+def test_plan_self_migration_not_noisy(setup):
+    cluster, vms = setup
+    plan = MigrationPlan.build(cluster, vms, [q.node.name for q in vms], attach_ib=True)
+    assert not plan.is_node_to_node
+    assert all(e.is_self_migration for e in plan.entries)
+
+
+def test_plan_attach_requires_cabled_ib(setup):
+    cluster, vms = setup
+    with pytest.raises(PlanError, match="no cabled IB"):
+        MigrationPlan.build(cluster, vms, ["eth01", "eth02"], attach_ib=True)
+
+
+def test_plan_capacity_check(setup):
+    cluster, vms = setup
+    # Two 20 GiB VMs onto one 48 GiB host: fits. Add a third VM's worth
+    # by occupying the destination first.
+    blocker = provision_vms(cluster, ["eth01"], memory_bytes=20 * GiB, attach_ib=False)
+    with pytest.raises(PlanError, match="free"):
+        MigrationPlan.build(cluster, vms, ["eth01"], attach_ib=False)
+
+
+def test_plan_duplicate_vm_rejected(setup):
+    cluster, vms = setup
+    plan = MigrationPlan(
+        cluster=cluster,
+        entries=[],
+    )
+    from repro.core.plan import PlanEntry
+
+    plan.entries = [
+        PlanEntry(qemu=vms[0], dst_host="eth01"),
+        PlanEntry(qemu=vms[0], dst_host="eth02"),
+    ]
+    with pytest.raises(PlanError, match="twice"):
+        plan.validate()
+
+
+def test_plan_empty_rejected(setup):
+    cluster, vms = setup
+    with pytest.raises(PlanError):
+        MigrationPlan.build(cluster, [], ["eth01"])
+    with pytest.raises(PlanError):
+        MigrationPlan.build(cluster, vms, [])
+
+
+def test_plan_describe(setup):
+    cluster, vms = setup
+    plan = MigrationPlan.build(cluster, vms, ["eth01", "eth02"], attach_ib=False, label="fb")
+    text = plan.describe()
+    assert "fb" in text and "eth01" in text

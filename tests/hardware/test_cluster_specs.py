@@ -1,0 +1,99 @@
+"""Unit tests: cluster assembly and Table I specs."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.cluster import Cluster, build_agc_cluster
+from repro.hardware.specs import (
+    AGC_ETH_SWITCH,
+    AGC_IB_SWITCH,
+    AGC_NODE_SPEC,
+    table1_rows,
+)
+from repro.network.fabric import PortState
+from repro.units import GiB, gbps
+
+
+def test_table1_contents():
+    rows = dict(table1_rows())
+    assert rows["Node PC"] == "Dell PowerEdge M610"
+    assert "Xeon E5540" in rows["CPU"]
+    assert rows["Chipset"] == "Intel 5520"
+    assert rows["Memory"].startswith("48 GB")
+    assert "MT26428" in rows["Infiniband"]
+    assert "BMC57711" in rows["10 GbE"]
+    assert rows["Switch Infiniband"] == "Mellanox M3601Q"
+    assert rows["Switch 10 GbE"] == "Dell M8024"
+
+
+def test_agc_node_spec():
+    assert AGC_NODE_SPEC.total_cores == 8
+    assert AGC_NODE_SPEC.memory_bytes == 48 * GiB
+    assert not AGC_NODE_SPEC.hyperthreading
+    assert AGC_IB_SWITCH.port_rate_Bps == pytest.approx(gbps(32))
+    assert AGC_ETH_SWITCH.port_rate_Bps == pytest.approx(gbps(10))
+
+
+def test_default_build_shape():
+    cluster = build_agc_cluster()
+    assert len(cluster.nodes) == 16
+    assert len(cluster.ib_nodes()) == 8
+    assert len(cluster.eth_only_nodes()) == 8
+    assert cluster.ib_fabric is not None
+    assert cluster.eth_fabric is not None
+
+
+def test_ethernet_ports_active_at_boot():
+    cluster = build_agc_cluster(ib_nodes=1, eth_nodes=1)
+    for name in cluster.node_names():
+        assert cluster.eth_fabric.port(name).state is PortState.ACTIVE
+
+
+def test_ib_ports_down_until_driver_probes():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=0)
+    assert cluster.ib_fabric.port("ib01").state is PortState.DOWN
+
+
+def test_eth_only_nodes_not_cabled():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    assert not cluster.node("eth01").has_infiniband
+    assert cluster.node("ib01").has_infiniband
+
+
+def test_duplicate_node_rejected():
+    cluster = Cluster()
+    cluster.add_node("x")
+    with pytest.raises(HardwareError):
+        cluster.add_node("x")
+
+
+def test_unknown_node_lookup():
+    cluster = build_agc_cluster(ib_nodes=1, eth_nodes=0)
+    with pytest.raises(HardwareError):
+        cluster.node("nope")
+
+
+def test_wire_infiniband_requires_hca():
+    from repro.hardware.specs import NodeSpec
+
+    bare = NodeSpec(
+        model="bare", cpu_model="x", sockets=1, cores_per_socket=2,
+        memory_bytes=8 * GiB, devices=(),
+    )
+    cluster = Cluster()
+    cluster.add_node("n1", bare)
+    with pytest.raises(HardwareError):
+        cluster.wire_infiniband(["n1"])
+
+
+def test_ib_transfer_bandwidth():
+    """QDR link carries ~3 GiB/s effective between two active ports."""
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=0)
+    env = cluster.env
+    fabric = cluster.ib_fabric
+    a, b = fabric.port("ib01"), fabric.port("ib02")
+    fabric.force_active(a)
+    fabric.force_active(b)
+    flow = fabric.transfer(a, b, 3 * GiB)
+    env.run()
+    assert flow.finished_at == pytest.approx(1.0, rel=0.01)

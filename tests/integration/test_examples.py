@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are executable documentation — they must keep working as the
+library evolves, and their own internal assertions (deadline met,
+service survived, transports switched) double as integration checks.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert {
+        "quickstart.py",
+        "fallback_recovery.py",
+        "server_consolidation.py",
+        "disaster_recovery.py",
+        "symvirt_script.py",
+        "generic_service.py",
+        "proactive_fault_tolerance.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{example} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{example} produced no output"
+
+
+def test_quickstart_shows_transport_switch():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "'openib'" in result.stdout
+    assert "'tcp'" in result.stdout
+    assert "migration" in result.stdout

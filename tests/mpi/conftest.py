@@ -1,0 +1,28 @@
+"""Fixtures for MPI-layer tests."""
+
+import pytest
+
+from repro.hardware.cluster import build_agc_cluster
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+from tests.conftest import drive
+
+
+@pytest.fixture
+def ib_job():
+    """2 IB VMs × 2 ranks, BTLs constructed, ready to exchange."""
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=4 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=2)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, job
+
+
+@pytest.fixture
+def eth_job():
+    """2 Ethernet-only VMs × 1 rank (tcp transport)."""
+    cluster = build_agc_cluster(ib_nodes=0, eth_nodes=2)
+    vms = provision_vms(cluster, ["eth01", "eth02"], memory_bytes=4 * GiB, attach_ib=False)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, job

@@ -1,0 +1,157 @@
+"""Unit tests: BTL framework — exclusivity, selection, reconstruction."""
+
+import pytest
+
+from repro.errors import BtlUnreachableError, MpiError
+from repro.hardware.cluster import build_agc_cluster
+from repro.mpi.btl.base import Btl, BtlRegistry, DEFAULT_REGISTRY
+from repro.mpi.btl.openib import OpenIbBtl
+from repro.mpi.btl.sm import SmBtl
+from repro.mpi.btl.tcp import TcpBtl
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+from tests.conftest import drive
+
+
+def test_exclusivity_ordering_matches_paper():
+    """Section III-C: tcp=100, openib=1024; sm wins for co-located."""
+    assert TcpBtl.exclusivity == 100
+    assert OpenIbBtl.exclusivity == 1024
+    assert SmBtl.exclusivity > OpenIbBtl.exclusivity
+    names = DEFAULT_REGISTRY.names()
+    assert names.index("openib") < names.index("tcp")
+
+
+def test_registry_rejects_duplicates():
+    registry = BtlRegistry()
+
+    @registry.register
+    class One(Btl):
+        name = "one"
+        exclusivity = 5
+
+    with pytest.raises(MpiError):
+        @registry.register
+        class Two(Btl):
+            name = "one"
+            exclusivity = 6
+
+
+def test_registry_unknown_component():
+    with pytest.raises(MpiError):
+        BtlRegistry().component("ghost")
+
+
+@pytest.fixture
+def job_pair():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=4 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, job
+
+
+def test_construct_builds_all_usable(job_pair):
+    cluster, job = job_pair
+    p0 = job.proc(0)
+    assert [m.name for m in p0.btl.modules] == ["sm", "openib", "tcp"]
+    assert p0.btl.generations == 1
+
+
+def test_fingerprint_tracks_usable_set(job_pair):
+    cluster, job = job_pair
+    p0 = job.proc(0)
+    assert p0.btl.device_fingerprint == ("sm", "openib", "tcp")
+
+
+def test_route_prefers_openib(job_pair):
+    cluster, job = job_pair
+    assert job.proc(0).btl.route_name(job.proc(1)) == "openib"
+
+
+def test_prepare_checkpoint_kills_openib_keeps_tcp(job_pair):
+    """The asymmetry that motivates continue_like_restart."""
+    cluster, job = job_pair
+    p0 = job.proc(0)
+    p0.btl.prepare_checkpoint()
+    openib = p0.btl.module("openib")
+    tcp = p0.btl.module("tcp")
+    assert openib is not None and not openib.alive
+    assert tcp is not None and tcp.alive
+    assert p0.btl.needs_reconstruction()
+
+
+def test_reconstruction_after_detach_selects_tcp(job_pair):
+    cluster, job = job_pair
+    env = cluster.env
+    p0, p1 = job.proc(0), job.proc(1)
+
+    def scenario(env):
+        # Detach both HCAs (what the SymVirt agents do).
+        for qemu in job.qemus:
+            yield from qemu.hotplug.detach(qemu.assignment("vf0"))
+        for proc in (p0, p1):
+            proc.btl.prepare_checkpoint()
+            yield from proc.btl.construct()
+
+    drive(env, scenario(env))
+    assert p0.btl.route_name(p1) == "tcp"
+    assert [m.name for m in p0.btl.modules] == ["sm", "tcp"]
+    assert p0.btl.generations == 2
+
+
+def test_dead_route_falls_back_without_reconstruction(job_pair):
+    """route() skips dead modules even before a reconstruct."""
+    cluster, job = job_pair
+    p0, p1 = job.proc(0), job.proc(1)
+    assert p0.btl.route_name(p1) == "openib"
+    p0.btl.module("openib").finalize()
+    assert p0.btl.route_name(p1) == "tcp"
+
+
+def test_unreachable_raises():
+    cluster = build_agc_cluster(ib_nodes=1, eth_nodes=1)
+    vms = provision_vms(cluster, ["ib01"], memory_bytes=4 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=2)
+    drive(cluster.env, job.init(), name="init")
+    p0, p1 = job.proc(0), job.proc(1)
+    for module in list(p0.btl.modules):
+        module.finalize()
+    with pytest.raises(BtlUnreachableError):
+        p0.btl.route(p1)
+
+
+def test_openib_unusable_on_eth_node():
+    cluster = build_agc_cluster(ib_nodes=1, eth_nodes=1)
+    vms = provision_vms(cluster, ["eth01"], memory_bytes=4 * GiB, attach_ib=False)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+    assert [m.name for m in job.proc(0).btl.modules] == ["sm", "tcp"]
+
+
+def test_openib_not_usable_while_polling():
+    """During the 30 s link-up the openib BTL must not be selected."""
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=0)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=4 * GiB, attach_ib=False)
+    env = cluster.env
+    # Attach via the timed path (no warm start): port will be POLLING.
+    job = create_job(cluster, vms, procs_per_vm=1)
+
+    def scenario(env):
+        for qemu in job.qemus:
+            hca = qemu.node.infiniband_hca()
+            assignment = qemu.assign_device(hca, "vf0")
+            yield from qemu.hotplug.attach(assignment)
+        yield from job.init()
+
+    drive(env, scenario(env))
+    assert [m.name for m in job.proc(0).btl.modules] == ["sm", "tcp"]
+    # After link-up a reconstruct picks openib.
+    def rebuild(env):
+        yield env.timeout(cluster.calibration.ib_linkup_s)
+        for proc in job.procs:
+            proc.btl.prepare_checkpoint()
+            yield from proc.btl.construct()
+
+    drive(env, rebuild(env))
+    assert job.proc(0).btl.route_name(job.proc(1)) == "openib"

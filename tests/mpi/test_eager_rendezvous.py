@@ -1,0 +1,71 @@
+"""Unit tests: the eager/rendezvous long-message protocol."""
+
+import pytest
+
+from repro.hardware.cluster import build_agc_cluster
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB, KiB, MiB
+from tests.conftest import drive
+
+
+def _pair():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=0)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=4 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, job
+
+
+def _ping(cluster, job, nbytes):
+    env = cluster.env
+    out = {}
+
+    def rank_main(proc, comm):
+        if comm.rank == 0:
+            # Warm the QP so setup cost is excluded.
+            yield from comm.send(1, 1, tag=0)
+            t0 = env.now
+            yield from comm.send(1, nbytes, tag=1)
+            out["elapsed"] = env.now - t0
+        else:
+            yield from comm.recv(0, tag=0)
+            yield from comm.recv(0, tag=1)
+        return None
+
+    job.launch(rank_main)
+    env.run(until=job.wait())
+    return out["elapsed"]
+
+
+def test_eager_message_skips_handshake():
+    cluster, job = _pair()
+    cal = cluster.calibration
+    nbytes = 4 * KiB  # well under the eager limit
+    elapsed = _ping(cluster, job, nbytes)
+    expected = cal.ib_latency_s + nbytes / cal.ib_link_Bps
+    assert elapsed == pytest.approx(expected, rel=0.05)
+
+
+def test_rendezvous_adds_round_trip():
+    cluster, job = _pair()
+    cal = cluster.calibration
+    nbytes = 1 * MiB  # above the eager limit
+    elapsed = _ping(cluster, job, nbytes)
+    expected = (
+        2 * cal.ib_latency_s          # RTS/CTS
+        + cal.ib_latency_s            # payload latency
+        + nbytes / cal.ib_link_Bps
+    )
+    assert elapsed == pytest.approx(expected, rel=0.05)
+
+
+def test_eager_limit_is_the_switchover():
+    cluster, job = _pair()
+    cal = cluster.calibration
+    below = _ping(*_pair(), cal.eager_limit_bytes)
+    above = _ping(*_pair(), cal.eager_limit_bytes + 4096)
+    # The handshake RTT appears exactly past the limit.
+    extra = above - below
+    handshake = 2 * cal.ib_latency_s
+    transfer_delta = 4096 / cal.ib_link_Bps
+    assert extra == pytest.approx(handshake + transfer_delta, rel=0.2)

@@ -1,0 +1,70 @@
+"""Unit tests: Environment run loop semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+
+
+def test_run_until_time(env):
+    fired = []
+    t = env.timeout(5.0)
+    t.callbacks.append(lambda ev: fired.append(env.now))
+    env.run(until=3.0)
+    assert env.now == 3.0
+    assert fired == []
+    env.run(until=10.0)
+    assert fired == [5.0]
+
+
+def test_run_until_past_rejected(env):
+    env.run(until=2.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_step_empty_queue_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek(env):
+    assert env.peek() == float("inf")
+    env.timeout(4.0)
+    assert env.peek() == pytest.approx(4.0)
+
+
+def test_run_until_pending_event_deadlock_detected(env):
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_run_until_already_processed_event(env):
+    event = env.event()
+    event.succeed("v")
+    env.run()
+    assert env.run(until=event) == "v"
+
+
+def test_run_until_idle_counts_events(env):
+    for _ in range(5):
+        env.timeout(1.0)
+    assert env.run_until_idle() == 5
+
+
+def test_run_until_idle_guards_runaway(env):
+    def forever(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(forever(env))
+    with pytest.raises(SimulationError, match="runaway"):
+        env.run_until_idle(max_events=100)
+
+
+def test_initial_time():
+    env = Environment(initial_time=100.0)
+    t = env.timeout(1.0)
+    env.run()
+    assert env.now == pytest.approx(101.0)

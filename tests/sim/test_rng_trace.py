@@ -1,0 +1,123 @@
+"""Unit tests: RNG registry determinism and the tracer."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+# -- RngRegistry -------------------------------------------------------------
+
+
+def test_same_seed_same_streams():
+    a = RngRegistry(seed=7).stream("hotplug").random(5)
+    b = RngRegistry(seed=7).stream("hotplug").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_independent():
+    registry = RngRegistry(seed=7)
+    a = registry.stream("a").random(5)
+    b = registry.stream("b").random(5)
+    assert list(a) != list(b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random(3)
+    b = RngRegistry(seed=2).stream("x").random(3)
+    assert list(a) != list(b)
+
+
+def test_stream_cached():
+    registry = RngRegistry()
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_jitter_zero_std_exact():
+    registry = RngRegistry()
+    assert registry.jitter("x", 29.85, rel_std=0.0) == 29.85
+
+
+def test_jitter_positive_and_near_mean():
+    registry = RngRegistry(seed=3)
+    samples = [registry.jitter("linkup", 30.0, rel_std=0.05) for _ in range(100)]
+    assert all(s >= 0 for s in samples)
+    assert 28.0 < sum(samples) / len(samples) < 32.0
+
+
+# -- Tracer --------------------------------------------------------------------
+
+
+def test_tracer_records_and_selects():
+    tracer = Tracer()
+    tracer.emit(1.0, "vmm", "boot", vm="vm1")
+    tracer.emit(2.0, "mpi", "send", rank=0)
+    tracer.emit(3.0, "vmm", "shutdown", vm="vm1")
+    assert len(tracer) == 3
+    assert [r.event for r in tracer.select("vmm")] == ["boot", "shutdown"]
+    assert tracer.first("mpi", "send").fields["rank"] == 0
+
+
+def test_tracer_span():
+    tracer = Tracer()
+    tracer.emit(10.0, "migr", "start")
+    tracer.emit(45.5, "migr", "end")
+    assert tracer.span("migr", "start", "end") == pytest.approx(35.5)
+    assert tracer.span("migr", "start", "missing") is None
+
+
+def test_tracer_disabled_drops():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "x", "y")
+    assert len(tracer) == 0
+
+
+def test_tracer_category_filter():
+    tracer = Tracer(categories={"keep"})
+    tracer.emit(1.0, "keep", "a")
+    tracer.emit(1.0, "drop", "b")
+    assert [r.category for r in tracer.records] == ["keep"]
+
+
+def test_tracer_sink_called():
+    seen = []
+    tracer = Tracer(sink=seen.append)
+    tracer.emit(1.0, "c", "e")
+    assert len(seen) == 1 and seen[0].event == "e"
+
+
+def test_tracer_clear():
+    tracer = Tracer()
+    tracer.emit(1.0, "c", "e")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_tracer_jsonl_roundtrip():
+    import json
+
+    tracer = Tracer()
+    tracer.emit(1.5, "migration", "start", vm="vm1", nbytes=100)
+    tracer.emit(2.5, "migration", "end", hosts=["a", "b"], meta={"x": 1})
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "time": 1.5, "category": "migration", "event": "start",
+        "vm": "vm1", "nbytes": 100,
+    }
+    second = json.loads(lines[1])
+    assert second["hosts"] == ["a", "b"]
+    assert second["meta"] == {"x": 1}
+
+
+def test_tracer_jsonl_coerces_odd_values():
+    import json
+
+    class Odd:
+        def __str__(self):
+            return "odd!"
+
+    tracer = Tracer()
+    tracer.emit(0.0, "c", "e", thing=Odd())
+    assert json.loads(tracer.to_jsonl())["thing"] == "odd!"

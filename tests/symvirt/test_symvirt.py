@@ -1,0 +1,156 @@
+"""Unit tests: SymVirt coordinator, controller, agents, config."""
+
+import pytest
+
+from repro.errors import SymVirtError
+from repro.hardware.cluster import build_agc_cluster
+from repro.symvirt.config import SymVirtConfig
+from repro.symvirt.controller import Controller
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+from tests.conftest import drive
+
+
+@pytest.fixture
+def setup():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=4 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, vms, job
+
+
+def _busy_rank_main(proc, comm):
+    """Ranks loop on barriers so checkpoint requests get serviced."""
+    for _ in range(10_000):
+        yield proc.vm.compute(0.2, nthreads=1)
+        yield from comm.barrier()
+    return None
+
+
+def test_config_from_cluster():
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=3)
+    config = SymVirtConfig.from_cluster(cluster)
+    assert config.ib_hostlist == ["ib01", "ib02"]
+    assert config.eth_hostlist == ["eth01", "eth02", "eth03"]
+    config.validate()
+
+
+def test_config_vms_on(setup):
+    cluster, vms, job = setup
+    config = SymVirtConfig.from_cluster(cluster)
+    assert set(config.vms_on(["ib01", "ib02"])) == set(vms)
+    assert config.vms_on(["eth01"]) == []
+
+
+def test_config_validate_catches_uncabled():
+    cluster = build_agc_cluster(ib_nodes=1, eth_nodes=1)
+    config = SymVirtConfig(cluster=cluster, ib_hostlist=["eth01"])
+    with pytest.raises(SymVirtError):
+        config.validate()
+
+
+def test_controller_needs_vms(setup):
+    cluster, _, _ = setup
+    with pytest.raises(SymVirtError):
+        Controller(cluster, [])
+
+
+def test_wait_all_then_signal_roundtrip(setup):
+    cluster, vms, job = setup
+    env = cluster.env
+    job.launch(_busy_rank_main)
+    ctl = Controller(cluster, vms)
+    marks = {}
+
+    def orchestrate(env):
+        job.request_checkpoint()
+        yield from ctl.wait_all()
+        marks["parked"] = all(q.vm.hypercall.parked for q in vms)
+        yield from ctl.signal()
+        # Round B: coordinators immediately wait again.
+        yield from ctl.wait_all()
+        marks["parked_b"] = all(q.vm.hypercall.parked for q in vms)
+        yield from ctl.signal()
+        yield env.timeout(1.0)
+        marks["resumed"] = all(not q.vm.hypercall.parked for q in vms)
+
+    drive(env, orchestrate(env))
+    assert marks == {"parked": True, "parked_b": True, "resumed": True}
+
+
+def test_device_detach_only_attached(setup):
+    cluster, vms, job = setup
+    env = cluster.env
+    job.launch(_busy_rank_main)
+    ctl = Controller(cluster, vms)
+
+    def orchestrate(env):
+        job.request_checkpoint()
+        yield from ctl.wait_all()
+        yield from ctl.device_detach("vf0")
+        assert all(not q.assignments["vf0"].attached for q in vms)
+        # Second detach is a no-op (nothing attached).
+        yield from ctl.device_detach("vf0")
+        yield from ctl.signal()
+        yield from ctl.wait_all()
+        yield from ctl.signal()
+
+    drive(env, orchestrate(env))
+
+
+def test_migration_mapping_wraps_for_consolidation(setup):
+    cluster, vms, job = setup
+    ctl = Controller(cluster, vms)
+    mapping = ctl.plan_mapping(["ib01", "ib02"], ["eth01"])
+    assert mapping == {vms[0].vm.name: "eth01", vms[1].vm.name: "eth01"}
+
+
+def test_migration_mapping_unknown_source(setup):
+    cluster, vms, job = setup
+    ctl = Controller(cluster, vms)
+    with pytest.raises(SymVirtError):
+        ctl.plan_mapping(["ghost"], ["eth01"])
+    with pytest.raises(SymVirtError):
+        ctl.plan_mapping(["ib01", "ib02"], [])
+
+
+def test_closed_controller_rejects_ops(setup):
+    cluster, vms, job = setup
+    ctl = Controller(cluster, vms)
+    ctl.close()
+
+    def orchestrate(env):
+        yield from ctl.wait_all()
+
+    proc = cluster.env.process(orchestrate(cluster.env))
+    with pytest.raises(SymVirtError):
+        cluster.env.run(until=proc)
+
+
+def test_figure5_script_shape(setup):
+    """The paper's Figure 5 fallback script, line for line."""
+    cluster, vms, job = setup
+    env = cluster.env
+    job.launch(_busy_rank_main)
+    config = SymVirtConfig.from_cluster(cluster)
+
+    def script(env):
+        job.request_checkpoint()  # the cloud scheduler's trigger
+        # ### 1. fallback migration
+        ctl = Controller(cluster, config.vms_on(config.ib_hostlist))
+        # 1a. device detach
+        yield from ctl.wait_all()
+        yield from ctl.device_detach(tag="vf0")
+        yield from ctl.signal()
+        # 1b. migration
+        yield from ctl.wait_all()
+        yield from ctl.migration(config.ib_hostlist, config.eth_hostlist)
+        yield from ctl.signal()
+        yield from ctl.quit()
+
+    drive(env, script(env))
+    assert [q.node.name for q in vms] == ["eth01", "eth02"]
+    # Wait for the ranks to finish reconstructing, then check transport.
+    env.run(until=env.now + 5.0)
+    assert job.transports_in_use() == {"tcp": 2}

@@ -1,0 +1,48 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Dell PowerEdge M610" in out
+    assert "Mellanox M3601Q" in out
+
+
+def test_table2_small(capsys):
+    assert main(["table2", "--nvms", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "ib->ib" in out and "eth->eth" in out
+    assert "29.7" in out  # simulated link-up
+
+
+def test_fig6_single_point(capsys):
+    assert main(["fig6", "--sizes", "2", "--nvms", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "migration" in out and "2 GB" in out
+
+
+def test_fig7_class_c(capsys):
+    assert main(["fig7", "--bench", "CG", "--npb-class", "C"]) == 0
+    out = capsys.readouterr().out
+    assert "CG.C" in out and "overhead" in out
+
+
+def test_fig8_short(capsys):
+    assert main(["fig8", "--ppv", "1", "--iterations", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "phase means" in out
+    assert "total migration overhead" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,116 @@
+"""Unit tests: VM/QEMU lifecycle edges and run-gate semantics."""
+
+import pytest
+
+from repro.errors import VmmError
+from repro.units import GiB
+from repro.vmm.qemu import QemuProcess
+from repro.vmm.vm import RunGate, RunState, VirtualMachine
+from tests.conftest import drive
+
+
+def test_double_boot_rejected(cluster):
+    qemu = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    qemu.boot()
+    with pytest.raises(VmmError, match="already booted"):
+        qemu.boot()
+
+
+def test_invalid_vm_params(cluster):
+    with pytest.raises(VmmError):
+        VirtualMachine(cluster.env, "bad", vcpus=0, memory_bytes=1 * GiB)
+
+
+def test_unhosted_vm_has_no_node(cluster):
+    vm = VirtualMachine(cluster.env, "floating", vcpus=1, memory_bytes=1 * GiB)
+    with pytest.raises(VmmError):
+        vm.host_node()
+
+
+def test_run_gate_reopen_wakes_all_waiters(env):
+    gate = RunGate(env)
+    gate.close()
+    woken = []
+
+    def waiter(env, name):
+        yield gate.passage()
+        woken.append((name, env.now))
+
+    env.process(waiter(env, "a"))
+    env.process(waiter(env, "b"))
+
+    def opener(env):
+        yield env.timeout(3.0)
+        gate.open()
+
+    env.process(opener(env))
+    env.run()
+    assert woken == [("a", 3.0), ("b", 3.0)]
+
+
+def test_run_gate_idempotent_operations(env):
+    gate = RunGate(env)
+    gate.open()
+    gate.open()
+    gate.close()
+    gate.close()
+    assert not gate.is_open
+    gate.open()
+    assert gate.is_open
+
+
+def test_parked_vm_stays_frozen_through_state_flips(cluster):
+    """QEMU stop/cont around a SymVirt park must not leak the gate open
+    (the vCPUs are still blocked in the hypercall)."""
+    env = cluster.env
+    qemu = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    qemu.boot()
+    channel = qemu.vm.hypercall
+    channel.register(1)
+
+    def guest(env):
+        yield from channel.symvirt_wait()
+
+    env.process(guest(env))
+
+    def vmm(env):
+        yield channel.wait_parked()
+        qemu.vm.set_state(RunState.PAUSED)
+        qemu.vm.set_state(RunState.RUNNING)  # cont — but still parked
+        assert not qemu.vm.run_gate.is_open
+        channel.symvirt_signal()
+        assert qemu.vm.run_gate.is_open
+
+    drive(env, vmm(env))
+
+
+def test_vm_name_and_repr(cluster):
+    qemu = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    qemu.boot()
+    assert "vm1" in repr(qemu.vm)
+    assert "ib01" in repr(qemu.vm)
+
+
+def test_relocate_to_same_node_is_noop(cluster):
+    qemu = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    qemu.boot()
+    free = cluster.node("ib01").free_memory
+    qemu.relocate(cluster.node("ib01"))
+    assert cluster.node("ib01").free_memory == free
+    assert qemu in cluster.node("ib01").vms
+
+
+def test_compute_thread_cap_at_vcpus(cluster):
+    """Asking for more threads than vCPUs clamps to the vCPU count."""
+    env = cluster.env
+    qemu = QemuProcess(
+        cluster, cluster.node("ib01"), "vm1", vcpus=2, memory_bytes=4 * GiB
+    )
+    qemu.boot()
+
+    def main(env):
+        yield qemu.vm.compute(2.0, nthreads=64)
+
+    drive(env, main(env))
+    # 2 vCPUs on an 8-core host: 2 threads run in parallel → 2 s.
+    assert env.now == pytest.approx(2.0)

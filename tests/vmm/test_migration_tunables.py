@@ -1,0 +1,129 @@
+"""Unit tests: QMP migration tunables and precopy convergence."""
+
+import pytest
+
+from repro.errors import QmpError
+from repro.hardware.calibration import PAPER_CALIBRATION
+from repro.units import GiB, MiB
+from repro.vmm.guest_memory import PageClass
+from repro.vmm.qemu import QemuProcess
+from repro.vmm.qmp import QmpClient
+from tests.conftest import drive
+
+
+@pytest.fixture
+def qemu(cluster):
+    q = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    q.boot()
+    return q
+
+
+def _execute(cluster, qemu, command, **args):
+    client = QmpClient(qemu.qmp)
+
+    def main(env):
+        result = yield from client.execute(command, **args)
+        return result
+
+    return drive(cluster.env, main(cluster.env))
+
+
+def _migrate(cluster, qemu, dst="ib02"):
+    def main(env):
+        job = qemu.migrate(cluster.node(dst))
+        stats = yield job.done
+        return stats
+
+    return drive(cluster.env, main(cluster.env))
+
+
+def test_migrate_set_speed_slows_transfer(cluster, qemu):
+    qemu.vm.memory.write(1 * GiB, 1 * GiB, PageClass.DATA)
+    baseline = None
+    # Reference time without the knob (on a twin VM).
+    twin = QemuProcess(cluster, cluster.node("ib02"), "twin", memory_bytes=4 * GiB)
+    twin.boot()
+    twin.vm.memory.write(1 * GiB, 1 * GiB, PageClass.DATA)
+    baseline = _migrate(cluster, twin, dst="ib01").total_time_s
+
+    throttle = PAPER_CALIBRATION.migration_cpu_cap_Bps / 4
+    _execute(cluster, qemu, "migrate_set_speed", value=throttle)
+    throttled = _migrate(cluster, qemu).total_time_s
+    # All incompressible bytes (array + OS resident set) move at a
+    # quarter rate: +3x their transfer time.
+    data_bytes = 1 * GiB + PAPER_CALIBRATION.guest_os_resident_bytes
+    extra = data_bytes / throttle - data_bytes / PAPER_CALIBRATION.migration_cpu_cap_Bps
+    assert throttled == pytest.approx(baseline + extra, rel=0.05)
+
+
+def test_migrate_set_speed_cannot_exceed_cpu_cap(cluster, qemu):
+    _execute(cluster, qemu, "migrate_set_speed", value=1e12)
+    stats = _migrate(cluster, qemu)
+    # Still completes at the CPU-capped pace (no speedup).
+    assert stats.status == "completed"
+
+
+def test_migrate_set_downtime_changes_convergence(cluster):
+    """A generous downtime budget lets precopy stop early; a strict one
+    forces more rounds against a slow dirtier."""
+    from repro.guestos.process import MemoryWriter
+
+    rounds = {}
+    for label, downtime in (("strict", 0.001), ("loose", 10.0)):
+        q = QemuProcess(
+            cluster, cluster.node("ib01"), f"vm-{label}", memory_bytes=4 * GiB
+        )
+        q.boot()
+        # Dirty rate well under the migration rate so precopy converges.
+        writer = MemoryWriter(
+            q.vm, 1 * GiB, page_class=PageClass.DATA,
+            chunk_bytes=16 * MiB, write_Bps=32 * MiB,
+        )
+        cluster.env.process(writer.run())
+        _execute(cluster, q, "migrate_set_downtime", value=downtime)
+
+        def main(env, q=q, writer=writer):
+            yield env.timeout(0.5)
+            job = q.migrate(cluster.node("ib02"))
+            stats = yield job.done
+            writer.stop()
+            return stats
+
+        stats = drive(cluster.env, main(cluster.env))
+        rounds[label] = stats.iterations
+        q.shutdown()
+    assert rounds["loose"] < rounds["strict"]
+
+
+def test_invalid_tunable_values(cluster, qemu):
+    with pytest.raises(QmpError):
+        _execute(cluster, qemu, "migrate_set_speed", value=0)
+    with pytest.raises(QmpError):
+        _execute(cluster, qemu, "migrate_set_downtime", value=-1)
+
+
+def test_slow_dirtier_converges_with_small_downtime(cluster):
+    """A writer slower than the migration rate converges in few rounds
+    with downtime within the (default 30 ms) budget."""
+    from repro.guestos.process import MemoryWriter
+
+    q = QemuProcess(cluster, cluster.node("ib01"), "slowvm", memory_bytes=4 * GiB)
+    q.boot()
+    # ~32 MiB/s dirty rate — well under the ~162 MB/s migration rate.
+    writer = MemoryWriter(
+        q.vm, 1 * GiB, page_class=PageClass.DATA,
+        chunk_bytes=16 * MiB, write_Bps=32 * MiB,
+    )
+    cluster.env.process(writer.run())
+
+    def main(env):
+        yield env.timeout(1.0)
+        job = q.migrate(cluster.node("ib02"))
+        stats = yield job.done
+        writer.stop()
+        return stats
+
+    stats = drive(cluster.env, main(cluster.env))
+    assert stats.status == "completed"
+    assert stats.iterations < PAPER_CALIBRATION.max_precopy_rounds
+    assert stats.downtime_s <= PAPER_CALIBRATION.max_downtime_s + 0.05

@@ -1,0 +1,80 @@
+"""Unit tests: the 2-D stencil workload."""
+
+import pytest
+
+from repro.core.plan import MigrationPlan
+from repro.core.scheduler import CloudScheduler
+from repro.hardware.cluster import build_agc_cluster
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+from repro.workloads.stencil import StencilConfig, StencilWorkload, process_grid
+from tests.conftest import drive
+
+
+def test_process_grid_factorizations():
+    assert process_grid(1) == (1, 1)
+    assert process_grid(4) == (2, 2)
+    assert process_grid(6) == (2, 3)
+    assert process_grid(8) == (2, 4)
+    assert process_grid(7) == (1, 7)  # prime: 1-D decomposition
+
+
+def test_config_scaling():
+    config = StencilConfig(global_points=1024, iterations=10)
+    assert config.tile_points(4) == 1024 * 1024 // 4
+    # More ranks → smaller tiles and shorter compute.
+    assert config.compute_seconds(16) == pytest.approx(config.compute_seconds(4) / 4)
+    # Halo shrinks with the tile edge.
+    assert config.halo_bytes(16) < config.halo_bytes(4)
+
+
+def _run(nvms=4, ppv=1, config=None):
+    cluster = build_agc_cluster(ib_nodes=nvms, eth_nodes=nvms)
+    hosts = [f"ib{i+1:02d}" for i in range(nvms)]
+    vms = provision_vms(cluster, hosts, memory_bytes=6 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=ppv)
+    drive(cluster.env, job.init(), name="init")
+    workload = StencilWorkload(config or StencilConfig(global_points=2048, iterations=5))
+    return cluster, vms, job, workload
+
+
+def test_stencil_completes_all_ranks():
+    cluster, vms, job, workload = _run(nvms=4, ppv=2)
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    assert workload.completed == {r: 5 for r in range(8)}
+    assert workload.elapsed_s > 0
+
+
+def test_stencil_strong_scaling():
+    """Doubling ranks roughly halves the iteration time (compute-bound)."""
+    times = {}
+    for nvms in (2, 4):
+        cluster, vms, job, workload = _run(
+            nvms=nvms, ppv=1,
+            config=StencilConfig(global_points=8192, iterations=3),
+        )
+        job.launch(workload.rank_main)
+        cluster.env.run(until=job.wait())
+        times[nvms] = workload.elapsed_s
+    assert times[4] < times[2] * 0.7
+
+
+def test_stencil_survives_fallback():
+    cluster, vms, job, workload = _run(
+        nvms=2, ppv=2, config=StencilConfig(global_points=16384, iterations=40)
+    )
+    env = cluster.env
+    job.launch(workload.rank_main)
+    scheduler = CloudScheduler(cluster)
+
+    def orchestrate(env):
+        yield env.timeout(2.0)
+        plan = MigrationPlan.build(cluster, vms, ["eth01", "eth02"], attach_ib=False)
+        result = yield from scheduler.run_now("maintenance", plan, job)
+        return result
+
+    env.process(orchestrate(env))
+    env.run(until=job.wait())
+    assert workload.completed == {r: 40 for r in range(4)}
+    assert job.comm_stats().get("tcp", 0) > 0

@@ -1,0 +1,150 @@
+"""Unit tests: workload models (memtest, bcast/reduce, NPB)."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.hardware.cluster import build_agc_cluster
+from repro.testbed import create_job, provision_vms
+from repro.units import GB, GiB, MiB
+from repro.vmm.guest_memory import PageClass
+from repro.workloads.base import claim_region
+from repro.workloads.bcast_reduce import BcastReduceLoop
+from repro.workloads.memtest import MemtestWorkload
+from repro.workloads.npb import NPB_SUITE, NPB_SUITE_C, NpbWorkload
+from tests.conftest import drive
+
+
+def _setup(ib=2, ppv=1, vm_gib=6):
+    cluster = build_agc_cluster(ib_nodes=ib, eth_nodes=0)
+    hosts = [f"ib{i+1:02d}" for i in range(ib)]
+    vms = provision_vms(cluster, hosts, memory_bytes=vm_gib * GiB)
+    job = create_job(cluster, vms, procs_per_vm=ppv)
+    drive(cluster.env, job.init(), name="init")
+    return cluster, vms, job
+
+
+# -- claim_region ------------------------------------------------------------------
+
+
+def test_claim_region_disjoint():
+    cluster, vms, job = _setup(ppv=2)
+    vm = vms[0].vm
+    a = claim_region(vm, 1 * GiB)
+    b = claim_region(vm, 1 * GiB)
+    assert b == a + 1 * GiB
+
+
+def test_claim_region_exhaustion():
+    cluster, vms, job = _setup(vm_gib=4)
+    vm = vms[0].vm
+    claim_region(vm, 2 * GiB)
+    with pytest.raises(GuestError):
+        claim_region(vm, 2 * GiB)  # 1 GiB base + 2 + 2 > 4
+
+
+# -- memtest -----------------------------------------------------------------------
+
+
+def test_memtest_runs_and_counts_passes():
+    cluster, vms, job = _setup()
+    workload = MemtestWorkload(array_bytes=512 * MiB, max_passes=3)
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    assert workload.passes == {0: 3, 1: 3}
+
+
+def test_memtest_marks_uniform_pages():
+    cluster, vms, job = _setup()
+    workload = MemtestWorkload(array_bytes=512 * MiB, max_passes=1)
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    memory = vms[0].vm.memory
+    resident = cluster.calibration.guest_os_resident_bytes
+    assert memory.data_bytes == pytest.approx(resident, rel=0.05)
+
+
+def test_memtest_incompressible_variant():
+    cluster, vms, job = _setup()
+    workload = MemtestWorkload(
+        array_bytes=512 * MiB, max_passes=1, page_class=PageClass.DATA
+    )
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    assert vms[0].vm.memory.data_bytes >= 512 * MiB
+
+
+# -- bcast/reduce -----------------------------------------------------------------------
+
+
+def test_bcast_reduce_series_and_callbacks():
+    cluster, vms, job = _setup()
+    steps_seen = []
+    workload = BcastReduceLoop(
+        iterations=3,
+        bytes_per_node=100 * MiB,
+        procs_per_vm=1,
+        on_step=lambda step, elapsed: steps_seen.append(step),
+        phase_label=lambda: "IB",
+    )
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    assert steps_seen == [1, 2, 3]
+    assert [s.step for s in workload.series.samples] == [1, 2, 3]
+    assert all(s.phase == "IB" for s in workload.series.samples)
+    assert all(s.elapsed_s > 0 for s in workload.series.samples)
+
+
+def test_bcast_reduce_splits_per_rank():
+    workload = BcastReduceLoop(bytes_per_node=8 * GB, procs_per_vm=8)
+    assert workload.bytes_per_rank == 1 * GB
+
+
+def test_bcast_reduce_populates_memory():
+    cluster, vms, job = _setup()
+    workload = BcastReduceLoop(iterations=1, bytes_per_node=1 * GB, procs_per_vm=1)
+    job.launch(workload.rank_main)
+    cluster.env.run(until=job.wait())
+    assert vms[0].vm.memory.data_bytes >= 1 * GB
+
+
+# -- NPB --------------------------------------------------------------------------------
+
+
+def test_npb_suite_shapes():
+    assert set(NPB_SUITE) == {"BT", "CG", "FT", "LU"}
+    for spec in NPB_SUITE.values():
+        assert spec.class_name == "D"
+        assert spec.iterations > 0
+        assert spec.footprint_per_vm >= int(2.3 * GiB) - 1
+    # Paper: footprints range 2.3 GB – 16 GB; FT is the largest.
+    assert NPB_SUITE["FT"].footprint_per_vm == 16 * GiB
+    assert min(s.footprint_per_vm for s in NPB_SUITE.values()) == NPB_SUITE["CG"].footprint_per_vm
+
+
+def test_npb_class_c_smaller():
+    for key in NPB_SUITE:
+        assert NPB_SUITE_C[key].total_core_seconds < NPB_SUITE[key].total_core_seconds
+        assert NPB_SUITE_C[key].footprint_per_vm < NPB_SUITE[key].footprint_per_vm
+
+
+def test_npb_compute_scaling():
+    spec = NPB_SUITE["BT"]
+    assert spec.per_rank_compute_s(64) == pytest.approx(
+        spec.total_core_seconds / 64 / spec.iterations
+    )
+    # Half the ranks → double the per-rank work.
+    assert spec.per_rank_compute_s(32) == pytest.approx(2 * spec.per_rank_compute_s(64))
+
+
+def test_npb_runs_all_patterns():
+    cluster, vms, job = _setup(ib=2, ppv=2, vm_gib=8)
+    for name in ("BT", "CG", "FT", "LU"):
+        spec = NPB_SUITE_C[name]
+        # Shrink further for the unit test.
+        import dataclasses
+
+        tiny = dataclasses.replace(spec, iterations=2, footprint_per_vm=1 * GiB)
+        workload = NpbWorkload(tiny, procs_per_vm=2)
+        job.launch(workload.rank_main)
+        cluster.env.run(until=job.wait())
+        assert workload.elapsed_s > 0, name
