@@ -7,11 +7,13 @@
     python -m repro fig6   [--sizes 2,4,8,16] [--nvms 8]
     python -m repro fig7   [--bench BT,CG,FT,LU] [--npb-class C|D]
     python -m repro fig8   [--ppv 1] [--iterations 40]
-    python -m repro demo
+    python -m repro demo   [--inject-phase PHASE] [--inject-nth N] [--inject-transient]
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
-the phase timeline.
+the phase timeline.  The ``--inject-*`` flags arm the deterministic fault
+injector so the demo exercises the transactional abort/rollback (or, with
+``--inject-transient``, the retry/backoff) path.
 """
 
 from __future__ import annotations
@@ -123,10 +125,25 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     import repro
     from repro import workloads
+    from repro.errors import QmpError
     from repro.units import GB
 
     cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
     env = cluster.env
+
+    if args.inject_phase:
+        error = (
+            QmpError("GenericError", "injected transient fault")
+            if args.inject_transient
+            else None  # default: non-transient FaultInjectionError → abort
+        )
+        cluster.faults.arm(
+            f"ninja.{args.inject_phase}", error=error, nth=args.inject_nth
+        )
+        print(
+            f"armed {'transient' if args.inject_transient else 'fatal'} fault "
+            f"at ninja.{args.inject_phase} (call #{args.inject_nth})"
+        )
 
     def experiment():
         vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
@@ -136,7 +153,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         yield env.timeout(20.0)
         scheduler = repro.CloudScheduler(cluster)
         result = yield from scheduler.run_now("demo", scheduler.plan_fallback(vms), job)
-        print(f"fallback complete: {result.breakdown}")
+        if result.aborted:
+            print(
+                f"fallback ABORTED in {result.failed_phase!r}: {result.error}\n"
+                f"  rollback: {' -> '.join(result.rollback_actions) or '(none)'}\n"
+                f"  retries:  {result.retries or '(none)'}\n"
+                f"  VMs now on: {sorted((q.vm.name, q.node.name) for q in vms)}"
+            )
+        else:
+            print(f"fallback complete: {result.breakdown}")
+            if result.retries:
+                print(f"  transient faults absorbed by retry: {result.retries}")
         print(result.timeline.render())
         yield env.timeout(5.0)
         print(f"transports: {job.transports_in_use()}")
@@ -175,7 +202,21 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("--iterations", type=int, default=40)
     p8.set_defaults(func=_cmd_fig8)
 
-    sub.add_parser("demo", help="one end-to-end fallback migration").set_defaults(func=_cmd_demo)
+    pd = sub.add_parser("demo", help="one end-to-end fallback migration")
+    pd.add_argument(
+        "--inject-phase",
+        choices=("coordination", "detach", "migration", "attach", "confirm", "linkup"),
+        help="inject a fault into this Ninja phase (exercises rollback)",
+    )
+    pd.add_argument(
+        "--inject-nth", type=int, default=1,
+        help="fire on the Nth call of the injected site (default 1)",
+    )
+    pd.add_argument(
+        "--inject-transient", action="store_true",
+        help="make the injected fault transient (absorbed by retry/backoff)",
+    )
+    pd.set_defaults(func=_cmd_demo)
     return parser
 
 

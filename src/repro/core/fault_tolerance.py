@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 from repro.core.checkpointing import CheckpointResult, ProactiveCheckpoint
 from repro.core.plan import MigrationPlan
 from repro.core.scheduler import CloudScheduler
-from repro.errors import SchedulerError
+from repro.errors import MigrationAbortedError, SchedulerError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -151,32 +151,72 @@ class FaultToleranceManager:
 
         All VMs move together — the SymVirt park is global, and leaving
         peers behind would split the job across a degraded node anyway.
+
+        An *aborted* sequence (the transactional orchestrator rolled the
+        job back to a safe, running state) is retried on alternate hosts:
+        the failed destination set is blacklisted and the next-best
+        healthy set is tried, until either an attempt completes or the
+        healthy pool is exhausted.
         """
         if self._busy or not self._vms_on(event.node):
             return
         self._busy = True
         try:
-            healthy = [
-                h for h in self.monitor.healthy_nodes()
-                if not self.cluster.node(h).vms
-                and self.cluster.node(h).free_memory
-                >= max(q.vm.memory.size_bytes for q in self.qemus)
-            ]
-            if len(healthy) < len(self.qemus):
+            vm_bytes = max(q.vm.memory.size_bytes for q in self.qemus)
+            tried: set = set()
+            while True:
+                healthy = [
+                    h for h in self.monitor.healthy_nodes()
+                    if h not in tried
+                    and not self.cluster.node(h).vms
+                    and self.cluster.node(h).free_memory >= vm_bytes
+                ]
+                if len(healthy) < len(self.qemus):
+                    self.actions.append(FtAction(
+                        self.env.now, "evacuate", event.node,
+                        detail="insufficient healthy capacity"
+                        + (f" after {len(tried)} blacklisted hosts" if tried else ""),
+                        ok=False,
+                    ))
+                    return
+                dst = healthy[: len(self.qemus)]
+                plan = MigrationPlan.build(
+                    self.cluster, self.qemus, dst,
+                    attach_ib=None, label=f"evacuate:{event.node}",
+                )
+                try:
+                    result = yield from self.scheduler.run_now(
+                        "health-warning", plan, self.job
+                    )
+                except MigrationAbortedError as err:
+                    # Rollback itself failed — the job is in an unknown
+                    # state; retrying elsewhere could make it worse.
+                    self.actions.append(FtAction(
+                        self.env.now, "evacuate", event.node,
+                        detail=f"unrecoverable: {err}", ok=False,
+                    ))
+                    return
+                if not result.aborted:
+                    self.actions.append(FtAction(
+                        self.env.now, "evacuate", event.node,
+                        detail=f"{len(self.qemus)} VMs, {result.breakdown}", ok=True,
+                    ))
+                    return
+                # Aborted cleanly: the VMs are back where they started —
+                # blacklist this destination set and try the next one.
+                tried.update(dst)
+                self.cluster.trace(
+                    "ft", "evacuate_retry",
+                    node=event.node,
+                    failed_phase=result.failed_phase,
+                    blacklisted=sorted(tried),
+                )
                 self.actions.append(FtAction(
                     self.env.now, "evacuate", event.node,
-                    detail="insufficient healthy capacity", ok=False,
+                    detail=f"aborted in {result.failed_phase}; "
+                           f"retrying on alternate hosts",
+                    ok=False,
                 ))
-                return
-            plan = MigrationPlan.build(
-                self.cluster, self.qemus, healthy[: len(self.qemus)],
-                attach_ib=None, label=f"evacuate:{event.node}",
-            )
-            result = yield from self.scheduler.run_now("health-warning", plan, self.job)
-            self.actions.append(FtAction(
-                self.env.now, "evacuate", event.node,
-                detail=f"{len(self.qemus)} VMs, {result.breakdown}", ok=True,
-            ))
         finally:
             self._busy = False
 

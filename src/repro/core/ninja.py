@@ -1,4 +1,4 @@
-"""The Ninja migration orchestrator.
+"""The Ninja migration orchestrator (transactional).
 
 Executes the full interconnect-transparent migration sequence of
 Figures 4/5 against a running MPI job:
@@ -19,23 +19,87 @@ Figures 4/5 against a running MPI job:
 
 Returns a :class:`NinjaResult` whose breakdown matches the stacked bars
 of Figures 6–8 and the columns of Table II.
+
+Failure semantics
+-----------------
+
+The sequence is a *transaction* over guest-visible state.  Before each
+risky phase the orchestrator pushes a compensation onto an undo stack;
+a mid-phase failure (``SymVirtError``/``MigrationError``/``NetworkError``
+/``QmpError``/:class:`~repro.errors.PhaseTimeoutError`) triggers
+**rollback** — the stack unwinds in LIFO order:
+
+``detach-stray``
+    eject HCAs this sequence attached on VMs away from their origin;
+``migrate-back``
+    precopy every relocated VM back to its origin host;
+``reattach-origin``
+    re-attach the original HCA on every VM that started with one;
+``resume-guests``
+    release whichever of the two SymVirt wait rounds are still owed so
+    every coordinator returns and the job keeps running.
+
+Transient errors (QMP RTT loss, migration-socket resets — anything in
+``TRANSIENT_ERRORS`` except :class:`~repro.errors.MigrationBlockedError`)
+are first absorbed by bounded retry with exponential backoff
+(:class:`~repro.core.faults.RetryPolicy`); rollback only starts once the
+attempts are exhausted or a non-transient error fires.
+
+The **commit point** is the second ``signal`` (guests resumed on their
+destinations).  A link-up failure after that cannot be rolled back
+without re-parking the job, so the sequence *degrades* instead: HCAs
+whose port never trained are ejected so the guests fall back to the
+Ethernet path, and the result reports ``status="aborted"`` with
+``committed=True``.
+
+Faults for testing are injected through the cluster-wide
+:class:`~repro.core.faults.FaultInjector` at sites ``ninja.<phase>``
+(plus the lower-level ``qmp.*`` / ``hotplug.*`` / ``migration.stream``
+sites the phases drive).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.core.faults import RetryPolicy
 from repro.core.metrics import OverheadBreakdown
 from repro.core.phases import PhaseTimeline
 from repro.core.plan import MigrationPlan
-from repro.errors import SymVirtError
+from repro.errors import (
+    MigrationAbortedError,
+    MigrationBlockedError,
+    MigrationError,
+    NetworkError,
+    PhaseTimeoutError,
+    QmpError,
+    ReproError,
+    SymVirtError,
+)
+from repro.network.fabric import PortState
 from repro.symvirt.controller import Controller
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
     from repro.mpi.runtime import MpiJob
     from repro.vmm.migration import MigrationStats
+
+#: The six phases of one sequence, in execution order.
+PHASES = (
+    "coordination",
+    "detach",
+    "migration",
+    "attach",
+    "confirm",
+    "linkup",
+)
+
+#: Error classes the retry loop treats as transient.  A
+#: :class:`~repro.errors.MigrationBlockedError` is excluded even though it
+#: is a ``MigrationError`` — a blocker is a planning bug, not socket
+#: weather, and retrying it can never succeed.
+TRANSIENT_ERRORS = (QmpError, MigrationError, NetworkError)
 
 
 @dataclass
@@ -48,6 +112,24 @@ class NinjaResult:
     migration_stats: Dict[str, "MigrationStats"] = field(default_factory=dict)
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: ``"completed"`` or ``"aborted"``.
+    status: str = "completed"
+    #: Phase whose failure aborted the sequence (``None`` on success).
+    failed_phase: Optional[str] = None
+    #: String form of the error that aborted the sequence.
+    error: str = ""
+    #: Per-phase retry counts (phases absent from the dict never retried).
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: Compensation/degrade actions executed, in execution order.
+    rollback_actions: List[str] = field(default_factory=list)
+    #: True once the guests were resumed at their destinations — an abort
+    #: after this point degraded (VMs stay put, dead HCAs ejected) rather
+    #: than rolled back.
+    committed: bool = False
+
+    @property
+    def aborted(self) -> bool:
+        return self.status == "aborted"
 
     @property
     def total_s(self) -> float:
@@ -55,25 +137,119 @@ class NinjaResult:
 
 
 class NinjaMigration:
-    """Orchestrates Ninja migrations on one cluster."""
+    """Orchestrates Ninja migrations on one cluster.
 
-    def __init__(self, cluster: "Cluster") -> None:
+    Parameters
+    ----------
+    retry_policy:
+        Bounded retry with exponential backoff applied to transient
+        per-phase failures.  Defaults to 3 attempts, 0.5 s base delay.
+    phase_timeout_s:
+        Optional per-phase wall-clock budgets (phase name → simulated
+        seconds).  A phase that overruns is interrupted and aborts the
+        sequence with :class:`~repro.errors.PhaseTimeoutError` (timeouts
+        are deliberately non-retryable: a stuck phase left work in an
+        unknown state, so the only safe continuation is rollback).
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        retry_policy: Optional[RetryPolicy] = None,
+        phase_timeout_s: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.cluster = cluster
         self.env = cluster.env
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.phase_timeout_s: Dict[str, float] = dict(phase_timeout_s or {})
+        #: Poll interval while waiting for in-flight work to settle.
+        self.settle_poll_s = 0.05
+        #: Upper bound on settling before rollback gives up (a migration
+        #: stream that never resolves is indistinguishable from a crashed
+        #: QEMU; surfacing MigrationAbortedError beats deadlocking).
+        self.settle_timeout_s = 3600.0
         #: Completed sequences (most recent last).
         self.history: list[NinjaResult] = []
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _settle(self, qemus):
+        """Wait until no controlled VM has an in-flight migration or
+        hotplug primitive (generator).
+
+        A failed parallel phase fails *fast* — sibling operations are
+        still running when the barrier collapses.  Retrying or rolling
+        back before they land would race their state transitions.
+        """
+        deadline = self.env.now + self.settle_timeout_s
+
+        def busy() -> bool:
+            for qemu in qemus:
+                if qemu.hotplug.active_ops:
+                    return True
+                job = qemu.current_migration
+                if job is not None and job.stats.status == "active":
+                    return True
+            return False
+
+        while busy():
+            if self.env.now >= deadline:
+                raise PhaseTimeoutError("settle", self.settle_timeout_s)
+            yield self.env.timeout(self.settle_poll_s)
+
+    def _with_timeout(self, phase: str, body):
+        """Drive ``body`` (a generator), bounded by the phase's budget."""
+        budget = self.phase_timeout_s.get(phase)
+        if budget is None:
+            yield from body
+            return
+        proc = self.env.process(body, name=f"ninja.{phase}")
+        clock = self.env.timeout(budget)
+        yield self.env.any_of([proc, clock])  # re-raises if the body failed
+        if proc.is_alive:
+            proc.interrupt(f"phase {phase!r} timed out")
+            raise PhaseTimeoutError(phase, budget)
+
+    # -- the sequence -----------------------------------------------------------------
 
     def execute(self, job: "MpiJob", plan: MigrationPlan, request_checkpoint: bool = True):
         """Run the sequence (generator — drive from a simulation process).
 
         ``request_checkpoint=False`` lets callers that already delivered
         the trigger (e.g. a cloud-scheduler event process) skip step 0.
+
+        Mid-phase failures roll the transaction back (or degrade it, past
+        the commit point) and return an *aborted* :class:`NinjaResult`
+        rather than raising; :class:`~repro.errors.MigrationAbortedError`
+        is raised only when the rollback itself fails — the one state the
+        orchestrator cannot make safe on its own.
         """
         env = self.env
         plan.validate()
         timeline = PhaseTimeline()
         t0 = env.now
         ctl = Controller(self.cluster, plan.qemus)
+        faults = self.cluster.faults
+        tag = plan.detach_tag
+        policy = self.retry_policy
+
+        #: Per-VM migration stats; bound before any phase so an abort in
+        #: an early phase still builds a result (regression: ``stats``
+        #: used to be assigned inside the migration phase only).
+        stats: Dict[str, "MigrationStats"] = {}
+        retries: Dict[str, int] = {}
+        #: Phase currently executing (for abort attribution).
+        current_phase: List[Optional[str]] = [None]
+        #: SymVirt rounds already released via ``signal`` (of the two owed).
+        rounds_released = [0]
+        #: LIFO compensation stack: (action name, generator factory).
+        compensations: List[tuple] = []
+        rollback_actions: List[str] = []
+        committed = False
+
+        # What the world looked like before the transaction started.
+        origin = {q.vm.name: q.node.name for q in plan.qemus}
+        had_attached = {a.qemu.vm.name: a.has_attached(tag) for a in ctl.agents}
 
         # Migration noise dilates hotplug primitives on real moves (Fig. 6).
         noise = (
@@ -84,73 +260,305 @@ class NinjaMigration:
         for qemu in plan.qemus:
             qemu.hotplug.noise_factor = noise
 
-        try:
-            # -- 1. coordination: trigger + quiesce + park (round A) -------
-            timeline.begin("coordination", env.now)
-            if request_checkpoint:
-                job.request_checkpoint()
-            yield from ctl.wait_all()
-            timeline.end("coordination", env.now)
+        # -- phase bodies (closures over the transaction state) ------------------
 
-            # -- 2. detach ---------------------------------------------------
-            timeline.begin("detach", env.now)
-            yield from ctl.device_detach(plan.detach_tag)
-            timeline.end("detach", env.now)
-
-            # -- 3. round A → round B ----------------------------------------
-            yield from ctl.signal()
+        def coordination_body():
+            yield from faults.perturb("ninja.coordination")
             yield from ctl.wait_all()
 
-            # -- 4. migration -------------------------------------------------
-            timeline.begin("migration", env.now)
-            stats = yield from ctl.migration(
-                plan.src_hostlist, plan.dst_hostlist, mapping=plan.mapping
-            )
-            timeline.end("migration", env.now)
+        def detach_body():
+            # Idempotent under retry: device_detach skips agents that
+            # already lost the device on an earlier attempt.
+            yield from faults.perturb("ninja.detach")
+            yield from ctl.device_detach(tag)
 
-            # -- 5. attach + confirm ------------------------------------------
-            timeline.begin("attach", env.now)
-            attach_agents = [
-                agent
-                for agent, entry in zip(ctl.agents, plan.entries)
-                if entry.attach_ib
-            ]
-            if attach_agents:
-                barrier = ctl._parallel(
-                    agent.device_attach(
-                        host=entry.attach_bdf, tag=plan.detach_tag
-                    )
-                    for agent, entry in zip(ctl.agents, plan.entries)
-                    if entry.attach_ib
+        def migration_body():
+            yield from faults.perturb("ninja.migration")
+            # Skip VMs whose migration already completed on an earlier
+            # attempt — ``stats`` accumulates even across failed barriers.
+            pending = {
+                name: dst
+                for name, dst in plan.mapping.items()
+                if name not in stats or stats[name].status != "completed"
+            }
+            if pending:
+                yield from ctl.migration(
+                    plan.src_hostlist,
+                    plan.dst_hostlist,
+                    mapping=pending,
+                    results=stats,
                 )
-                yield barrier
-            timeline.end("attach", env.now)
 
-            timeline.begin("confirm", env.now)
-            yield ctl._parallel(
-                agent.qemu.hotplug.confirm() for agent in ctl.agents
-            )
-            timeline.end("confirm", env.now)
-
-            # Collect link-up events before waking the guests.
-            linkup_events = []
+        def attach_body():
+            yield from faults.perturb("ninja.attach")
+            pending = [
+                (agent, entry)
+                for agent, entry in zip(ctl.agents, plan.entries)
+                if entry.attach_ib and not agent.has_attached(tag)
+            ]
+            if pending:
+                yield ctl._parallel(
+                    agent.device_attach(host=entry.attach_bdf, tag=tag)
+                    for agent, entry in pending
+                )
+            # Verify every attach left a confirmable port; a bad attach
+            # rolls the whole sequence back.
             for agent, entry in zip(ctl.agents, plan.entries):
                 if entry.attach_ib:
-                    assignment = agent.qemu.assignments.get(plan.detach_tag)
+                    assignment = agent.qemu.assignments.get(tag)
                     if assignment is None or assignment.function.port is None:
                         raise SymVirtError(
                             f"{agent.qemu.vm.name}: attach left no port to confirm"
                         )
-                    linkup_events.append(assignment.function.port.wait_active())
 
-            # -- 6. resume + link-up -------------------------------------------
-            yield from ctl.signal()
-            timeline.begin("linkup", env.now)
-            if linkup_events:
-                yield env.all_of(linkup_events)
-            timeline.end("linkup", env.now)
+        def confirm_body():
+            yield from faults.perturb("ninja.confirm")
+            yield ctl._parallel(agent.qemu.hotplug.confirm() for agent in ctl.agents)
 
-            yield from ctl.quit()
+        # -- compensations (run in reverse push order on rollback) ----------------
+
+        def finish_partial_ejects() -> None:
+            """Complete hotplug primitives that were interrupted mid-flight.
+
+            A seated function with no guest driver is the signature of an
+            interrupted attach (driver never probed) or detach (driver
+            unbound, eject unfinished); either way the safe terminal state
+            is "ejected".
+            """
+            for agent in ctl.agents:
+                assignment = agent.qemu.assignments.get(tag)
+                kernel = agent.qemu.vm.kernel
+                if (
+                    assignment is not None
+                    and assignment.attached
+                    and kernel is not None
+                    and not kernel.has_driver(assignment.function)
+                ):
+                    assignment.unseat()
+                    self.cluster.trace(
+                        "ninja", "rollback_finish_eject", vm=agent.qemu.vm.name, tag=tag
+                    )
+
+        def detach_stray():
+            """Eject HCAs this sequence attached on VMs away from home."""
+            stray = [
+                agent
+                for agent in ctl.agents
+                if agent.has_attached(tag)
+                and agent.qemu.node.name != origin[agent.qemu.vm.name]
+            ]
+            if stray:
+                yield ctl._parallel(agent.device_detach(tag) for agent in stray)
+
+        def migrate_back():
+            """Return every relocated VM to its origin host."""
+            back = {
+                agent.qemu.vm.name: origin[agent.qemu.vm.name]
+                for agent in ctl.agents
+                if agent.qemu.node.name != origin[agent.qemu.vm.name]
+            }
+            if back:
+                yield from ctl.migration(
+                    plan.dst_hostlist, plan.src_hostlist, mapping=back
+                )
+
+        def reattach_origin():
+            """Re-attach the original HCA on every VM that started with one."""
+            pending = [
+                agent
+                for agent in ctl.agents
+                if had_attached[agent.qemu.vm.name] and not agent.has_attached(tag)
+            ]
+            if pending:
+                yield ctl._parallel(
+                    agent.device_attach(host="", tag=tag) for agent in pending
+                )
+
+        def resume_guests():
+            """Release whichever of the two wait rounds are still owed."""
+            yield from ctl.release(2 - rounds_released[0])
+            rounds_released[0] = 2
+
+        def rollback(cause: BaseException):
+            self.cluster.trace(
+                "ninja",
+                "rollback_begin",
+                label=plan.label,
+                phase=current_phase[0],
+                error=str(cause),
+            )
+            timeline.begin("rollback", env.now)
+            try:
+                yield from self._settle(plan.qemus)
+                finish_partial_ejects()
+                while compensations:
+                    name, factory = compensations.pop()
+                    rollback_actions.append(name)
+                    self.cluster.trace("ninja", "rollback_action", action=name)
+                    yield from factory()
+            finally:
+                timeline.end("rollback", env.now)
+
+        def degrade(cause: BaseException):
+            """Past the commit point: keep the move, shed dead devices."""
+            self.cluster.trace(
+                "ninja", "degrade_begin", label=plan.label, error=str(cause)
+            )
+            timeline.begin("rollback", env.now)
+            try:
+                yield from self._settle(plan.qemus)
+                finish_partial_ejects()
+                dead = []
+                for agent in ctl.agents:
+                    if not agent.has_attached(tag):
+                        continue
+                    port = agent.qemu.assignments[tag].function.port
+                    if port is None or port.state is not PortState.ACTIVE:
+                        dead.append(agent)
+                if dead:
+                    rollback_actions.append("detach-dead-hca")
+                    yield ctl._parallel(agent.device_detach(tag) for agent in dead)
+            finally:
+                timeline.end("rollback", env.now)
+
+        # -- phase runner ---------------------------------------------------------
+
+        def run_phase(name: str, body_factory: Callable[[], object]):
+            current_phase[0] = name
+            timeline.begin(name, env.now)
+            attempt = 0
+            try:
+                while True:
+                    try:
+                        yield from self._with_timeout(name, body_factory())
+                    except MigrationBlockedError:
+                        raise
+                    except TRANSIENT_ERRORS as err:
+                        if attempt + 1 >= policy.max_attempts:
+                            raise
+                        delay = policy.delay(attempt, self.cluster.rng)
+                        retries[name] = retries.get(name, 0) + 1
+                        self.cluster.trace(
+                            "ninja",
+                            "retry",
+                            label=plan.label,
+                            phase=name,
+                            attempt=attempt + 1,
+                            backoff_s=round(delay, 6),
+                            error=str(err),
+                        )
+                        yield env.timeout(delay)
+                        yield from self._settle(plan.qemus)
+                        attempt += 1
+                    else:
+                        return
+            finally:
+                timeline.end(name, env.now)
+
+        # -- drive the transaction -----------------------------------------------
+
+        try:
+            try:
+                # Step 0 happens before anything is parked or detached —
+                # a failed trigger needs no rollback and is re-raised.
+                if request_checkpoint:
+                    job.request_checkpoint()
+
+                # -- 1. coordination: quiesce + park (round A) -----------
+                compensations.append(("resume-guests", resume_guests))
+                yield from run_phase("coordination", coordination_body)
+
+                # -- 2. detach -------------------------------------------
+                compensations.append(("reattach-origin", reattach_origin))
+                yield from run_phase("detach", detach_body)
+
+                # -- 3. round A → round B --------------------------------
+                yield from ctl.signal()
+                rounds_released[0] += 1
+                yield from ctl.wait_all()
+
+                # -- 4. migration ----------------------------------------
+                compensations.append(("migrate-back", migrate_back))
+                yield from run_phase("migration", migration_body)
+
+                # -- 5. attach + confirm ---------------------------------
+                compensations.append(("detach-stray", detach_stray))
+                yield from run_phase("attach", attach_body)
+                yield from run_phase("confirm", confirm_body)
+
+                # Collect link-up events before waking the guests.
+                linkup_events = []
+                for agent, entry in zip(ctl.agents, plan.entries):
+                    if entry.attach_ib:
+                        assignment = agent.qemu.assignments[tag]
+                        linkup_events.append(assignment.function.port.wait_active())
+
+                # -- 6. resume: THE COMMIT POINT -------------------------
+                yield from ctl.signal()
+                rounds_released[0] += 1
+                committed = True
+                compensations.clear()
+
+                def linkup_body():
+                    yield from faults.perturb("ninja.linkup")
+                    if linkup_events:
+                        yield env.all_of(linkup_events)
+
+                yield from run_phase("linkup", linkup_body)
+
+                yield from ctl.quit()
+            except ReproError as err:
+                if current_phase[0] is None and not compensations:
+                    # Failed before the transaction opened (trigger path).
+                    raise
+                failed_phase = current_phase[0]
+                self.cluster.trace(
+                    "ninja",
+                    "phase_failed",
+                    label=plan.label,
+                    phase=failed_phase,
+                    error=str(err),
+                    kind=type(err).__name__,
+                )
+                try:
+                    if committed:
+                        yield from degrade(err)
+                    else:
+                        yield from rollback(err)
+                except ReproError as rollback_err:
+                    raise MigrationAbortedError(
+                        failed_phase or "?",
+                        f"rollback failed: {rollback_err}",
+                        cause=err,
+                    ) from err
+                ctl.close()
+                result = NinjaResult(
+                    plan=plan,
+                    breakdown=OverheadBreakdown.from_timeline(timeline),
+                    timeline=timeline,
+                    migration_stats=stats,
+                    started_at=t0,
+                    finished_at=env.now,
+                    status="aborted",
+                    failed_phase=failed_phase,
+                    error=str(err),
+                    retries=dict(retries),
+                    rollback_actions=list(rollback_actions),
+                    committed=committed,
+                )
+                self.history.append(result)
+                self.cluster.trace(
+                    "ninja",
+                    "aborted",
+                    label=plan.label,
+                    phase=failed_phase,
+                    error=str(err),
+                    committed=committed,
+                    rollback=",".join(rollback_actions),
+                    retries=sum(retries.values()),
+                    wallclock=round(result.total_s, 3),
+                )
+                return result
         finally:
             for qemu in plan.qemus:
                 qemu.hotplug.noise_factor = 1.0
@@ -162,6 +570,7 @@ class NinjaMigration:
             migration_stats=stats,
             started_at=t0,
             finished_at=env.now,
+            retries=dict(retries),
         )
         self.history.append(result)
         self.cluster.trace(
@@ -169,6 +578,7 @@ class NinjaMigration:
             "completed",
             label=plan.label,
             wallclock=round(result.total_s, 3),
+            retries=sum(retries.values()),
             **result.breakdown.as_row(),
         )
         return result

@@ -81,6 +81,20 @@ class MigrationBlockedError(MigrationError):
     """
 
 
+class MigrationAbortedError(MigrationError):
+    """A Ninja sequence aborted *and* its rollback could not restore a
+    safe state — the only unrecoverable outcome of the transactional
+    orchestrator.  Carries the phase that failed and the rollback step
+    that broke.
+    """
+
+    def __init__(self, phase: str, detail: str, cause: "BaseException | None" = None) -> None:
+        super().__init__(f"aborted in {phase!r}: {detail}")
+        self.phase = phase
+        self.detail = detail
+        self.cause = cause
+
+
 class HotplugError(VmmError):
     """PCI hotplug (ACPI) operation failed."""
 
@@ -109,6 +123,23 @@ class CheckpointError(MpiError):
 
 class SymVirtError(ReproError):
     """SymVirt coordination failure (wait/signal mismatch, lost agent)."""
+
+
+class PhaseTimeoutError(ReproError):
+    """A Ninja migration phase exceeded its per-phase timeout budget."""
+
+    def __init__(self, phase: str, timeout_s: float) -> None:
+        super().__init__(f"phase {phase!r} exceeded its {timeout_s:g} s timeout")
+        self.phase = phase
+        self.timeout_s = timeout_s
+
+
+class FaultInjectionError(ReproError):
+    """Default error raised by an armed :class:`~repro.core.faults.FaultInjector`
+    site when no specific exception was configured.  Deliberately *not* one
+    of the transient classes, so an injected fault aborts (and rolls back)
+    instead of being absorbed by retry unless the test asks otherwise.
+    """
 
 
 class PlanError(ReproError):

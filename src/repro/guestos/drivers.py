@@ -30,6 +30,7 @@ class Driver:
         self.env = kernel.env
         self.device = device
         self.bound = False
+        self._gone_waiters: list[Event] = []
 
     @property
     def port(self) -> Optional[Port]:
@@ -47,10 +48,28 @@ class Driver:
     def remove(self) -> None:
         """Unbind (hotplug eject path)."""
         self.bound = False
+        waiters, self._gone_waiters = self._gone_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(self)
 
     def wait_link_up(self) -> Event:
         """Event firing when the interface carries traffic."""
         raise NotImplementedError
+
+    def wait_gone(self) -> Event:
+        """Event firing when the driver unbinds (device ejected).
+
+        Link-up waiters race this against :meth:`wait_link_up` so a guest
+        confirming a device that gets rolled back (detached again before
+        its port ever trains) unblocks instead of waiting forever.
+        """
+        event = Event(self.env)
+        if not self.bound:
+            event.succeed(self)
+        else:
+            self._gone_waiters.append(event)
+        return event
 
 
 class BypassFabricDriver(Driver):

@@ -71,6 +71,15 @@ class GuestKernel:
 
     # -- queries -----------------------------------------------------------------------
 
+    def has_driver(self, device: "PciDevice") -> bool:
+        """Is a driver currently bound to ``device``?
+
+        ``False`` for a seated-but-driverless function — the signature of a
+        hotplug primitive that was interrupted mid-flight (the transactional
+        orchestrator uses this to finish half-done ejects during rollback).
+        """
+        return device in self._drivers
+
     def driver_for(self, device: "PciDevice") -> Driver:
         try:
             return self._drivers[device]

@@ -25,6 +25,7 @@ from repro.network.ethernet import EthernetFabric
 from repro.network.infiniband import InfiniBandFabric
 from repro.network.myrinet import MyrinetFabric
 from repro.network.topology import Topology
+from repro.core.faults import FaultInjector
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -44,6 +45,8 @@ class Cluster:
         self.calibration = calibration
         self.rng = RngRegistry(seed)
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Deterministic fault injection shared by every instrumented layer.
+        self.faults = FaultInjector(self.env)
         self.nodes: Dict[str, PhysicalNode] = {}
         #: IB-cabled node names.
         self.ib_cabled: set[str] = set()

@@ -91,6 +91,14 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
+        if self._value is not PENDING:
+            # The process already finished — e.g. it was interrupted while
+            # waiting and its stale target fired later.  The dead generator
+            # must not be re-driven (that would double-schedule this event);
+            # absorb a stale failure so it cannot crash the run either.
+            if not event._ok:
+                event._defused = True
+            return
         self.env._active_process = self
         while True:
             try:

@@ -84,6 +84,15 @@ class Tracer:
             result = record
         return result
 
+    def count(self, category: str, event: Optional[str] = None) -> int:
+        """Number of records matching the given category (and event).
+
+        Convenience for failure-path assertions, e.g.
+        ``tracer.count("ninja", "retry")`` or
+        ``tracer.count("ninja", "aborted")``.
+        """
+        return sum(1 for _ in self.select(category, event))
+
     def span(self, category: str, start_event: str, end_event: str) -> Optional[float]:
         """Duration between the first ``start_event`` and first ``end_event``."""
         start = self.first(category, start_event)

@@ -63,6 +63,23 @@ class Controller:
         yield self._parallel(agent.signal() for agent in self.agents)
         self.cluster.trace("symvirt", "signal", vms=[q.vm.name for q in self.vms])
 
+    def release(self, rounds: int):
+        """Drive ``rounds`` outstanding park/resume rounds to completion.
+
+        The rollback path of the transactional orchestrator uses this to
+        hand back however many wait/signal rounds the aborted sequence
+        still owes the guests (coordinators always execute exactly two
+        rounds per checkpoint request — round A and round B — whether or
+        not the controller finishes its work in between).
+        """
+        for _ in range(rounds):
+            yield from self.wait_all()
+            yield from self.signal()
+
+    def parked_count(self) -> int:
+        """How many controlled VMs are currently parked (diagnostics)."""
+        return sum(1 for q in self.vms if q.vm.hypercall.parked)
+
     def device_detach(self, tag: str):
         """Hot-detach the tagged device from every VM that has it."""
         self._check_open()
@@ -83,6 +100,7 @@ class Controller:
         dst_hostlist: Sequence[str],
         rdma: bool = False,
         mapping: Optional[Dict[str, str]] = None,
+        results: Optional[Dict[str, "MigrationStats"]] = None,
     ):
         """Migrate every VM per the src→dst hostlist mapping (in parallel).
 
@@ -90,20 +108,27 @@ class Controller:
         host's index in ``src_hostlist``; when ``dst_hostlist`` is shorter
         the mapping wraps (that is how the paper consolidates 4 VMs onto
         "2 hosts" in Figure 8).  Callers with an exact per-VM plan pass
-        ``mapping`` (VM name → destination host) directly.  Returns per-VM
-        migration stats.
+        ``mapping`` (VM name → destination host) directly; a *partial*
+        mapping migrates only the VMs it names (the retry path of the
+        transactional orchestrator).  Returns per-VM migration stats —
+        pass ``results`` to accumulate into a caller-owned dict so that
+        completions still land even if a sibling's failure aborts the
+        barrier first.
         """
         self._check_open()
         if mapping is None:
             mapping = self.plan_mapping(src_hostlist, dst_hostlist)
-        results: Dict[str, "MigrationStats"] = {}
+        if results is None:
+            results = {}
 
         def _one(agent: SymVirtAgent, dst_name: str):
             stats = yield from agent.migrate(self.cluster.node(dst_name), rdma=rdma)
             results[agent.qemu.vm.name] = stats
 
         yield self._parallel(
-            _one(agent, mapping[agent.qemu.vm.name]) for agent in self.agents
+            _one(agent, mapping[agent.qemu.vm.name])
+            for agent in self.agents
+            if agent.qemu.vm.name in mapping
         )
         self.cluster.trace("symvirt", "migration", mapping=mapping)
         return results

@@ -71,12 +71,19 @@ class SymVirtCoordinator:
         self.round_b_count += 1
         yield from channel.symvirt_wait()
         # Confirm link-up: block until every VMM-bypass interface
-        # (InfiniBand / Myrinet) carries traffic.
+        # (InfiniBand / Myrinet) carries traffic.  The wait races against
+        # the driver unbinding — if the controller rolls an attach back
+        # (ejects the device again) the confirm must not strand the rank.
         kernel = proc.vm.kernel
         if kernel is not None:
             for iface in kernel.bypass_interfaces():
                 if not iface.is_up:
                     self.linkup_waits += 1
                     proc.trace("symvirt", "linkup_wait_begin", iface=iface.name)
-                    yield iface.driver.wait_link_up()
-                    proc.trace("symvirt", "linkup_confirmed", iface=iface.name)
+                    up = iface.driver.wait_link_up()
+                    gone = iface.driver.wait_gone()
+                    yield self.env.any_of([up, gone])
+                    if gone.triggered and not up.triggered:
+                        proc.trace("symvirt", "linkup_device_gone", iface=iface.name)
+                    else:
+                        proc.trace("symvirt", "linkup_confirmed", iface=iface.name)

@@ -39,6 +39,10 @@ class AcpiHotplugController:
         self.noise_factor = 1.0
         #: Completed operation log: (time, op, device tag).
         self.log: list[tuple[float, str, str]] = []
+        #: Primitives currently in flight (attach/detach/confirm).  The
+        #: transactional orchestrator waits for this to reach zero before
+        #: retrying or rolling back a partially-completed parallel phase.
+        self.active_ops = 0
 
     # -- timing ---------------------------------------------------------------
 
@@ -75,9 +79,14 @@ class AcpiHotplugController:
         kernel = self.qemu.vm.kernel
         if kernel is None:
             raise HotplugError(f"{self.qemu.vm.name}: guest not booted")
+        yield from self.qemu.cluster.faults.perturb("hotplug.attach")
         assignment.seat()
         function = assignment.function
-        yield self.env.timeout(self._attach_time(function))
+        self.active_ops += 1
+        try:
+            yield self.env.timeout(self._attach_time(function))
+        finally:
+            self.active_ops -= 1
         kernel.device_added(function)
         self.log.append((self.env.now, "attach", assignment.tag))
         return function
@@ -94,15 +103,25 @@ class AcpiHotplugController:
             raise HotplugError(f"{self.qemu.vm.name}: guest not booted")
         if not assignment.attached:
             raise HotplugError(f"{assignment.tag}: not attached")
+        yield from self.qemu.cluster.faults.perturb("hotplug.detach")
         function = assignment.function
         kernel.device_removing(function)
-        yield self.env.timeout(self._detach_time(function))
+        self.active_ops += 1
+        try:
+            yield self.env.timeout(self._detach_time(function))
+        finally:
+            self.active_ops -= 1
         assignment.unseat()
         self.log.append((self.env.now, "detach", assignment.tag))
         return function
 
     def confirm(self) -> object:
         """Guest-side confirmation round (Figure 4's 'confirm' arrows)."""
-        yield self.env.timeout(self.confirm_time())
+        yield from self.qemu.cluster.faults.perturb("hotplug.confirm")
+        self.active_ops += 1
+        try:
+            yield self.env.timeout(self.confirm_time())
+        finally:
+            self.active_ops -= 1
         self.log.append((self.env.now, "confirm", ""))
         return None

@@ -203,6 +203,11 @@ class MigrationJob:
         yield self.env.timeout(cal.migration_setup_s)
         self.stats.setup_time_s = self.env.now - t_start
 
+        # Fault-injection site: a migration-socket failure after setup goes
+        # through the same clean-failure path as a real network outage (the
+        # VM stays on the source, query-migrate reports "failed").
+        yield from self.qemu.cluster.faults.perturb("migration.stream")
+
         memory.start_dirty_logging()
         mask: Optional[np.ndarray] = None  # round 0: full RAM traversal
         forced_stop = False

@@ -36,6 +36,9 @@ class QmpServer:
         if handler is None:
             raise QmpError("CommandNotFound", f"The command {command} has not been found")
         yield self.env.timeout(self.qemu.calibration.qmp_rtt_s)
+        # Fault-injection site: models monitor-socket failures (the command
+        # round-trip was paid; the command itself errors or never lands).
+        yield from self.qemu.cluster.faults.perturb(f"qmp.{command}")
         self.command_log.append((command, arguments))
         result = handler(**arguments)
         return result

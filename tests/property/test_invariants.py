@@ -157,3 +157,87 @@ def test_hypercall_parks_only_when_all_wait(contexts):
     env.process(vmm(env))
     env.run()
     assert sorted(resumed) == list(range(contexts))
+
+
+# -- transactional Ninja under randomized fault schedules --------------------
+
+
+#: (phase, low-level site exercised by that phase) — ``None`` where the
+#: phase has no distinct low-level site.
+_FAULT_SITES = [
+    ("coordination", None),
+    ("detach", "hotplug.detach"),
+    ("detach", "qmp.device_del"),
+    ("migration", "migration.stream"),
+    ("migration", "qmp.migrate"),
+    ("attach", "hotplug.attach"),
+    ("confirm", "hotplug.confirm"),
+    ("linkup", None),
+]
+
+
+@pytest.mark.faults
+@given(
+    schedule=st.sampled_from(_FAULT_SITES),
+    plan_kind=st.sampled_from(("fallback", "self")),
+    low_level=st.booleans(),
+    transient=st.booleans(),
+    nth=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=12, deadline=None)
+def test_faulted_ninja_never_leaks_parked_vms_or_hcas(
+    schedule, plan_kind, low_level, transient, nth
+):
+    """For an arbitrary single-fault schedule — any phase, ninja- or
+    low-level site, transient or fatal, first or second call — the
+    sequence ends with no VM parked, every VM RUNNING on a definite host,
+    and every HCA either cleanly attached at that host or cleanly absent.
+    """
+    from repro.core.ninja import NinjaMigration
+    from repro.errors import QmpError
+    from repro.vmm.vm import RunState
+
+    phase, low_site = schedule
+    site = low_site if (low_level and low_site is not None) else f"ninja.{phase}"
+    error = QmpError("GenericError", "injected transient") if transient else None
+
+    cluster = build_agc_cluster(ib_nodes=2, eth_nodes=2)
+    vms = provision_vms(cluster, ["ib01", "ib02"], memory_bytes=1 * GiB)
+    job = create_job(cluster, vms, procs_per_vm=1)
+    drive(cluster.env, job.init(), name="init")
+
+    def busy(proc, comm):
+        for _ in range(100_000):
+            yield proc.vm.compute(0.2, nthreads=1)
+            yield from comm.barrier()
+
+    job.launch(busy)
+    ninja = NinjaMigration(cluster)
+    if plan_kind == "fallback":
+        plan = ninja.fallback_plan(vms, ["eth01", "eth02"])
+    else:
+        plan = ninja.self_migration_plan(vms, attach_ib=True)
+    origin = {q.vm.name: q.node.name for q in vms}
+    cluster.faults.arm(site, error=error, nth=nth)
+
+    def main():
+        return (yield from ninja.execute(job, plan))
+
+    result = drive(cluster.env, main(), name="ninja")
+    cluster.env.run(until=cluster.env.now + 90.0)
+
+    if result.aborted and not result.committed:
+        expected = origin
+    else:  # completed, or committed degrade
+        expected = dict(plan.mapping)
+    for q in vms:
+        assert q.node.name == expected[q.vm.name]
+        assert q.vm.state is RunState.RUNNING
+        assert not q.vm.hypercall.parked
+        assignment = q.assignments.get(plan.detach_tag)
+        if assignment is not None and assignment.attached:
+            assert q.vm.kernel.has_driver(assignment.function)
+            assert assignment.backing.slot.bus is q.node.pci
+    assert job.live_ranks == job.size
+    transports = job.transports_in_use()
+    assert sum(transports.values()) == job.size * (job.size - 1)
