@@ -39,6 +39,11 @@ from repro.hardware.calibration import Calibration, PAPER_CALIBRATION
 from repro.hardware.cluster import Cluster, build_agc_cluster, build_two_site_cluster
 from repro.mpi.ft import FtSettings
 from repro.mpi.runtime import MpiJob, MpiProcess
+from repro.orchestrator.admission import AdmissionController, MigrationRequest
+from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
+from repro.orchestrator.placement import PlacementEngine
+from repro.orchestrator.planner import WavePlanner
+from repro.orchestrator.state import FleetStateStore
 from repro.sim.core import Environment
 from repro.symvirt.controller import Controller
 from repro.symvirt.coordinator import SymVirtCoordinator
@@ -46,22 +51,29 @@ from repro.testbed import attach_ib_warm, create_job, provision_vms
 from repro.vmm.qemu import QemuProcess
 
 __all__ = [
+    "AdmissionController",
     "Calibration",
     "CloudScheduler",
     "Cluster",
     "Controller",
     "Environment",
+    "FleetConfig",
+    "FleetOrchestrator",
+    "FleetStateStore",
     "FtSettings",
     "IterationSample",
     "IterationSeries",
     "MigrationPlan",
+    "MigrationRequest",
     "MpiJob",
     "MpiProcess",
     "NinjaMigration",
     "NinjaResult",
     "OverheadBreakdown",
     "PAPER_CALIBRATION",
+    "PlacementEngine",
     "QemuProcess",
+    "WavePlanner",
     "SymVirtCoordinator",
     "__version__",
     "attach_ib_warm",

@@ -8,12 +8,21 @@
     python -m repro fig7   [--bench BT,CG,FT,LU] [--npb-class C|D]
     python -m repro fig8   [--ppv 1] [--iterations 40]
     python -m repro demo   [--inject-phase PHASE] [--inject-nth N] [--inject-transient]
+                           [--trace-out PATH]
+    python -m repro fleet  [--jobs 8] [--vms-per-job 1] [--naive]
+                           [--wan-gbps 1.0] [--trace-out PATH]
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
 the phase timeline.  The ``--inject-*`` flags arm the deterministic fault
 injector so the demo exercises the transactional abort/rollback (or, with
 ``--inject-transient``, the retry/backoff) path.
+
+``fleet`` drains a whole IB sub-cluster through the fleet orchestrator
+(one migration request per job) and reports makespan, per-wave
+concurrency, and admission deferrals; ``--naive`` disables the
+bandwidth-aware planner for an all-at-once baseline.  ``--trace-out``
+dumps the full simulation trace as JSON Lines.
 """
 
 from __future__ import annotations
@@ -122,6 +131,12 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_trace(tracer, path: Optional[str]) -> None:
+    if path:
+        count = tracer.save(path)
+        print(f"wrote {count} trace records to {path}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import repro
     from repro import workloads
@@ -171,7 +186,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     env.process(experiment())
     env.run()
+    _save_trace(cluster.tracer, args.trace_out)
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.orchestrator.scenario import run_fleet_scenario
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    result = run_fleet_scenario(
+        jobs=args.jobs,
+        vms_per_job=args.vms_per_job,
+        sequenced=not args.naive,
+        wan_gbps=args.wan_gbps,
+        tracer=tracer,
+    )
+    mode = "naive (all at once)" if args.naive else "sequenced (waves + swaps)"
+    print(f"fleet drain — {result.jobs} jobs x {result.vms_per_job} VM(s), {mode}")
+    print(f"  makespan:          {result.makespan_s:.1f} s")
+    print(f"  wave concurrency:  {result.wave_concurrency}")
+    print(f"  destination swaps: {result.destination_swaps}")
+    deferred = ", ".join(f"{k}={v}" for k, v in sorted(result.deferred.items()))
+    print(f"  deferrals:         {result.deferred_total} ({deferred or 'none'})")
+    rows = [
+        [
+            o["job"], str(o["status"]), str(o["attempts"]),
+            "-" if o["duration_s"] is None else f"{o['duration_s']:.1f}",
+            " ".join(result.final_hosts[str(o["job"])]),
+        ]
+        for o in result.outcomes
+    ]
+    print(render_table(
+        ["job", "status", "attempts", "duration [s]", "now on"],
+        rows, title="per-job outcomes",
+    ))
+    _save_trace(tracer, args.trace_out)
+    incomplete = result.aborted + result.failed
+    return 0 if incomplete == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,7 +268,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-transient", action="store_true",
         help="make the injected fault transient (absorbed by retry/backoff)",
     )
+    pd.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the simulation trace to PATH as JSON Lines",
+    )
     pd.set_defaults(func=_cmd_demo)
+
+    pf = sub.add_parser("fleet", help="fleet-wide drain through the orchestrator")
+    pf.add_argument("--jobs", type=int, default=8, help="number of MPI jobs to drain")
+    pf.add_argument("--vms-per-job", type=int, default=1)
+    pf.add_argument(
+        "--naive", action="store_true",
+        help="disable wave sequencing + destination swaps (baseline)",
+    )
+    pf.add_argument("--wan-gbps", type=float, default=1.0, help="WAN pipe to the backup site")
+    pf.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the simulation trace to PATH as JSON Lines",
+    )
+    pf.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -108,13 +108,16 @@ class FaultToleranceManager:
         qemus: Sequence["QemuProcess"],
         monitor: Optional[HealthMonitor] = None,
         checkpointer: Optional[ProactiveCheckpoint] = None,
+        state=None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.job = job
         self.qemus = list(qemus)
         self.monitor = monitor if monitor is not None else HealthMonitor(cluster)
-        self.scheduler = CloudScheduler(cluster)
+        #: ``state`` (a fleet state store) makes the embedded scheduler's
+        #: placement reservation-aware when fleet and FT manager coexist.
+        self.scheduler = CloudScheduler(cluster, state=state)
         self.checkpointer = checkpointer
         self.last_checkpoint: Optional[CheckpointResult] = None
         self.actions: List[FtAction] = []

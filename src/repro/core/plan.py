@@ -107,13 +107,28 @@ class MigrationPlan:
     def any_attach(self) -> bool:
         return any(e.attach_ib for e in self.entries)
 
+    def incoming_bytes_by_host(self) -> Dict[str, int]:
+        """Guest RAM each destination must absorb (self-migrations land
+        on RAM the VM already owns and are excluded).
+
+        :meth:`validate` checks this against free memory; fleet-level
+        planners use it to answer "what does this plan cost host X".
+        """
+        incoming_bytes: Dict[str, int] = {}
+        for entry in self.entries:
+            if entry.is_self_migration:
+                continue
+            incoming_bytes[entry.dst_host] = (
+                incoming_bytes.get(entry.dst_host, 0)
+                + entry.qemu.vm.memory.size_bytes
+            )
+        return incoming_bytes
+
     # -- validation -------------------------------------------------------------------
 
     def validate(self) -> None:
         """Check capacity, device availability, and mapping sanity."""
         seen_vms = set()
-        incoming: Dict[str, int] = {}
-        incoming_bytes: Dict[str, int] = {}
         for entry in self.entries:
             name = entry.qemu.vm.name
             if name in seen_vms:
@@ -126,12 +141,7 @@ class MigrationPlan:
                     f"destination has no cabled IB HCA (or other VMM-bypass "
                     f"adapter)"
                 )
-            if not entry.is_self_migration:
-                incoming[entry.dst_host] = incoming.get(entry.dst_host, 0) + 1
-                incoming_bytes[entry.dst_host] = (
-                    incoming_bytes.get(entry.dst_host, 0) + entry.qemu.vm.memory.size_bytes
-                )
-        for host, nbytes in incoming_bytes.items():
+        for host, nbytes in self.incoming_bytes_by_host().items():
             node = self.cluster.node(host)
             if nbytes > node.free_memory:
                 raise PlanError(

@@ -5,25 +5,36 @@ checkpoint/restart request, to both an MPI runtime system and the SymVirt
 controller" (Section III-B).  This module provides:
 
 * **placement policies** — pick fallback destinations (spread or
-  consolidate), recovery destinations, and validate capacity;
+  consolidate), recovery destinations, and validate capacity.  Picking
+  is delegated to the shared
+  :class:`~repro.orchestrator.placement.PlacementEngine`, so the
+  single-job scheduler and the fleet orchestrator apply one capacity
+  model;
 * **trigger events** — scheduled maintenance / disaster / consolidation
   requests that fire at a simulated time and run a Ninja sequence.
+
+When constructed with a :class:`~repro.orchestrator.state.FleetStateStore`,
+the scheduler becomes *reservation-aware*: plans built by the factories
+claim their destination capacity in the store immediately (so
+concurrent planners can't double-book a host), and the claim is
+released when the triggered sequence finishes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.ninja import NinjaMigration, NinjaResult
 from repro.core.plan import MigrationPlan
 from repro.errors import SchedulerError
+from repro.orchestrator.placement import PlacementEngine
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
-    from repro.hardware.node import PhysicalNode
     from repro.mpi.runtime import MpiJob
+    from repro.orchestrator.state import FleetStateStore
     from repro.vmm.qemu import QemuProcess
 
 
@@ -45,16 +56,17 @@ class TriggerEvent:
 class CloudScheduler:
     """Placement policy + trigger delivery for one cluster."""
 
-    def __init__(self, cluster: "Cluster") -> None:
+    def __init__(
+        self, cluster: "Cluster", state: Optional["FleetStateStore"] = None
+    ) -> None:
         self.cluster = cluster
         self.env = cluster.env
+        self.state = state
+        self.placement = PlacementEngine(cluster, state)
         self.ninja = NinjaMigration(cluster)
         self.triggers: List[TriggerEvent] = []
 
     # -- placement policies ----------------------------------------------------------
-
-    def _free_hosts(self, candidates: Sequence["PhysicalNode"], need_bytes: int) -> List[str]:
-        return [n.name for n in candidates if n.free_memory >= need_bytes]
 
     def pick_fallback_hosts(
         self, qemus: Sequence["QemuProcess"], consolidate_to: Optional[int] = None
@@ -63,34 +75,33 @@ class CloudScheduler:
 
         ``consolidate_to=n`` packs the VMs onto ``n`` hosts (the paper's
         "2 hosts (TCP)" server-consolidation case); default is one VM per
-        host.
+        host.  With a state store attached, hosts reserved by other
+        in-flight plans don't count as free.
         """
-        if not qemus:
-            raise SchedulerError("no VMs to place")
-        vm_bytes = max(q.vm.memory.size_bytes for q in qemus)
-        nhosts = consolidate_to if consolidate_to is not None else len(qemus)
-        if nhosts <= 0:
-            raise SchedulerError("consolidate_to must be positive")
-        per_host = -(-len(qemus) // nhosts)
-        hosts = self._free_hosts(self.cluster.eth_only_nodes(), vm_bytes * per_host)
-        if len(hosts) < nhosts:
-            raise SchedulerError(
-                f"need {nhosts} Ethernet hosts with {per_host} VM slots, "
-                f"found {len(hosts)}"
-            )
-        return hosts[:nhosts]
+        return self.placement.pick_packed(
+            qemus,
+            self.cluster.eth_only_nodes(),
+            consolidate_to=consolidate_to,
+        )
 
     def pick_recovery_hosts(self, qemus: Sequence["QemuProcess"]) -> List[str]:
         """Destinations back on the IB cluster (one VM per host)."""
-        vm_bytes = max(q.vm.memory.size_bytes for q in qemus)
-        hosts = self._free_hosts(self.cluster.ib_nodes(), vm_bytes)
-        if len(hosts) < len(qemus):
-            raise SchedulerError(
-                f"need {len(qemus)} IB hosts, found {len(hosts)} with capacity"
-            )
-        return hosts[: len(qemus)]
+        if not qemus:
+            raise SchedulerError("no VMs to place")
+        return self.placement.pick_spread(
+            qemus, self.cluster.ib_nodes(), need_hca=True
+        )
 
     # -- plan factories ----------------------------------------------------------------
+
+    def _claim(self, plan: MigrationPlan) -> MigrationPlan:
+        if self.state is not None:
+            self.state.claim_plan(plan, owner=plan)
+        return plan
+
+    def _release(self, plan: MigrationPlan) -> None:
+        if self.state is not None:
+            self.state.release_owner(plan)
 
     def plan_fallback(
         self,
@@ -99,16 +110,16 @@ class CloudScheduler:
         label: str = "fallback",
     ) -> MigrationPlan:
         hosts = self.pick_fallback_hosts(qemus, consolidate_to)
-        return MigrationPlan.build(
-            self.cluster, qemus, hosts, attach_ib=False, label=label
+        return self._claim(
+            MigrationPlan.build(self.cluster, qemus, hosts, attach_ib=False, label=label)
         )
 
     def plan_recovery(
         self, qemus: Sequence["QemuProcess"], label: str = "recovery"
     ) -> MigrationPlan:
         hosts = self.pick_recovery_hosts(qemus)
-        return MigrationPlan.build(
-            self.cluster, qemus, hosts, attach_ib=True, label=label
+        return self._claim(
+            MigrationPlan.build(self.cluster, qemus, hosts, attach_ib=True, label=label)
         )
 
     def plan_spread(
@@ -118,9 +129,15 @@ class CloudScheduler:
         label: str = "spread",
     ) -> MigrationPlan:
         """De-consolidate onto explicit hosts (attach auto-resolved)."""
-        return MigrationPlan.build(
-            self.cluster, qemus, list(dst_hosts), attach_ib=None, label=label
+        return self._claim(
+            MigrationPlan.build(
+                self.cluster, qemus, list(dst_hosts), attach_ib=None, label=label
+            )
         )
+
+    def release_plan(self, plan: MigrationPlan) -> None:
+        """Drop a claimed plan's reservations without running it."""
+        self._release(plan)
 
     # -- trigger delivery -----------------------------------------------------------------
 
@@ -144,6 +161,8 @@ class CloudScheduler:
                 trigger.done.succeed(None)
                 self.cluster.trace("scheduler", "trigger_failed", reason=reason, error=str(err))
                 return
+            finally:
+                self._release(plan)
             trigger.result = result
             trigger.done.succeed(result)
 
@@ -153,7 +172,10 @@ class CloudScheduler:
     def run_now(self, reason: str, plan: MigrationPlan, job: "MpiJob"):
         """Execute a Ninja sequence immediately (generator)."""
         self.cluster.trace("scheduler", "trigger", reason=reason, label=plan.label)
-        result = yield from self.ninja.execute(job, plan)
+        try:
+            result = yield from self.ninja.execute(job, plan)
+        finally:
+            self._release(plan)
         trigger = TriggerEvent(at_time=self.env.now, reason=reason, plan=plan, result=result)
         self.triggers.append(trigger)
         return result

@@ -148,3 +148,8 @@ class PlanError(ReproError):
 
 class SchedulerError(ReproError):
     """Cloud-scheduler level failure (no feasible placement)."""
+
+
+class FleetError(ReproError):
+    """Fleet-orchestrator level failure (double-booked reservation,
+    inconsistent request state, admission misuse)."""

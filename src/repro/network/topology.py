@@ -101,6 +101,18 @@ class Topology:
         """Sum of one-way link latencies along the route."""
         return sum(d.link.latency_s for d in self.path(src, dst))
 
+    def bottleneck_Bps(self, src: str, dst: str) -> float:
+        """Capacity of the narrowest link on the route ``src`` → ``dst``.
+
+        ``inf`` for loopback (``src == dst``) — no network hop involved.
+        The fleet planner uses this to weigh migrations by how much of
+        the narrowest pipe they will consume.
+        """
+        route = self.path(src, dst)
+        if not route:
+            return float("inf")
+        return min(d.capacity_Bps for d in route)
+
     def invalidate_routes(self) -> None:
         """Drop the path cache (after failing/restoring links)."""
         self._path_cache.clear()

@@ -1,0 +1,490 @@
+"""The fleet orchestrator: a control plane above the cloud scheduler.
+
+:class:`FleetOrchestrator` drives many concurrent Ninja migrations over
+one cluster.  It composes the subsystem's four parts:
+
+* the :class:`~repro.orchestrator.state.FleetStateStore` (global truth:
+  jobs, reservations, in-flight migrations);
+* the :class:`~repro.orchestrator.placement.PlacementEngine`
+  (reservation-aware destination picking);
+* the :class:`~repro.orchestrator.planner.WavePlanner` (bandwidth-aware
+  sequencing + destination swapping);
+* the :class:`~repro.orchestrator.admission.AdmissionController`
+  (priority queue, tenant limits, backpressure).
+
+Each admitted request runs the existing **transactional** Ninja sequence
+(:class:`~repro.core.ninja.NinjaMigration`, PR 1) as its own simulation
+process.  Compositional guarantees:
+
+* an *aborted* sequence rolled the job back to a safe running state —
+  the orchestrator re-enqueues the request with the failed destinations
+  blacklisted, up to ``max_attempts``;
+* an *unrecoverable* abort (:class:`~repro.errors.MigrationAbortedError`
+  — the rollback itself failed) marks the request ``failed`` and stops
+  retrying: the job is in an unknown state and human attention beats
+  another automated attempt;
+* a *committed degrade* counts as completion (the VMs did move).
+
+Health integration: :meth:`watch` subscribes to a
+:class:`~repro.core.fault_tolerance.HealthMonitor`; a WARNING enqueues a
+high-priority evacuation for every fleet job with VMs on the sick node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.ninja import NinjaMigration
+from repro.core.plan import MigrationPlan
+from repro.errors import (
+    FleetError,
+    MigrationAbortedError,
+    PlanError,
+    ReproError,
+    SchedulerError,
+)
+from repro.orchestrator.admission import (
+    ABORTED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    AdmissionController,
+    MigrationRequest,
+)
+from repro.orchestrator.placement import PlacementEngine
+from repro.orchestrator.planner import PlannedMigration, WavePlanner
+from repro.orchestrator.state import FleetJob, FleetStateStore
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fault_tolerance import HealthMonitor
+    from repro.hardware.cluster import Cluster
+    from repro.mpi.runtime import MpiJob
+    from repro.vmm.qemu import QemuProcess
+
+
+@dataclass
+class FleetConfig:
+    """Orchestrator policy knobs."""
+
+    #: Serialise migrations that share a directed link (waves).  ``False``
+    #: reproduces the naive fire-everything-concurrently baseline.
+    sequencing: bool = True
+    #: Run the destination-swap post-pass over each admitted batch.
+    destination_swap: bool = True
+    #: Per-link budget, expressed in *seconds of solo transfer*: a request
+    #: is deferred while the estimated in-flight bytes on any of its links
+    #: exceed ``link_budget_s x capacity``.  ``None`` disables the gate.
+    link_budget_s: Optional[float] = 30.0
+    #: Fleet-wide cap on concurrent Ninja sequences (``None`` = unlimited).
+    max_inflight_total: Optional[int] = None
+    #: Per-tenant cap on concurrent sequences (``None`` = unlimited).
+    max_inflight_per_tenant: Optional[int] = None
+    #: Default retry budget for aborted-and-rolled-back requests.
+    max_attempts: int = 3
+    #: Priority assigned to health-driven evacuations.
+    evacuation_priority: int = 100
+
+    @classmethod
+    def naive(cls) -> "FleetConfig":
+        """The all-at-once baseline: no sequencing, swapping, or budget."""
+        return cls(
+            sequencing=False,
+            destination_swap=False,
+            link_budget_s=None,
+            max_inflight_total=None,
+            max_inflight_per_tenant=None,
+        )
+
+
+class FleetOrchestrator:
+    """Concurrent multi-job Ninja migrations with admission control."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        config: Optional[FleetConfig] = None,
+        state: Optional[FleetStateStore] = None,
+        ninja: Optional[NinjaMigration] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config if config is not None else FleetConfig()
+        self.store = state if state is not None else FleetStateStore(cluster)
+        self.placement = PlacementEngine(cluster, self.store)
+        self.planner = WavePlanner(cluster)
+        self.admission = AdmissionController(
+            max_inflight_total=self.config.max_inflight_total,
+            max_inflight_per_tenant=self.config.max_inflight_per_tenant,
+        )
+        self.ninja = ninja if ninja is not None else NinjaMigration(cluster)
+        self.requests: List[MigrationRequest] = []
+        self._running: List[MigrationRequest] = []
+        #: Links footprint of each running request (sequencing gate).
+        self._running_footprint: Dict[MigrationRequest, PlannedMigration] = {}
+        self._wake: Optional[Event] = None
+        self._loop_proc = None
+        self._monitor: Optional["HealthMonitor"] = None
+        self._settle_waiters: List[Event] = []
+        #: Number of requests started by each scan that started any —
+        #: the de-facto concurrency of each execution wave.
+        self.wave_log: List[int] = []
+        self.swaps_applied = 0
+
+    # -- registration / submission ----------------------------------------------------
+
+    def register_job(
+        self,
+        job_id: str,
+        job: "MpiJob",
+        qemus: Sequence["QemuProcess"],
+        tenant: str = "default",
+    ) -> FleetJob:
+        return self.store.register_job(job_id, job, qemus, tenant=tenant)
+
+    def submit(
+        self,
+        job_id: str,
+        kind: str = "fallback",
+        priority: int = 0,
+        consolidate_to: Optional[int] = None,
+        dst_hosts: Optional[Sequence[str]] = None,
+        max_attempts: Optional[int] = None,
+    ) -> MigrationRequest:
+        """Queue a migration request for a registered job."""
+        record = self.store.job(job_id)
+        request = MigrationRequest(
+            fleet_job=record,
+            kind=kind,
+            priority=priority,
+            consolidate_to=consolidate_to,
+            dst_hosts=list(dst_hosts) if dst_hosts is not None else None,
+            submitted_at=self.env.now,
+            max_attempts=(
+                max_attempts if max_attempts is not None else self.config.max_attempts
+            ),
+            done=Event(self.env),
+        )
+        self.requests.append(request)
+        self.admission.submit(request)
+        self.cluster.trace(
+            "fleet", "submitted", request=request.request_id, job=job_id,
+            kind=kind, priority=priority,
+        )
+        self._ensure_loop()
+        self._kick()
+        return request
+
+    # -- health-monitor integration ---------------------------------------------------
+
+    def watch(self, monitor: "HealthMonitor") -> None:
+        """React to health WARNINGs with high-priority evacuations."""
+        self._monitor = monitor
+        monitor.subscribe(self._on_health_event)
+
+    def _on_health_event(self, event) -> None:
+        from repro.core.fault_tolerance import Health
+
+        if event.state is not Health.WARNING:
+            return
+        for record in self.store.jobs_on(event.node):
+            if any(
+                r.kind == "evacuate" and not r.terminal
+                for r in self.requests
+                if r.fleet_job is record
+            ):
+                continue
+            self.cluster.trace(
+                "fleet", "evacuation_enqueued", job=record.job_id, node=event.node,
+                reason=event.reason,
+            )
+            self.submit(
+                record.job_id,
+                kind="evacuate",
+                priority=self.config.evacuation_priority,
+            )
+
+    # -- completion observation ---------------------------------------------------------
+
+    @property
+    def settled(self) -> bool:
+        """True when every submitted request reached a terminal state."""
+        return not self._running and all(r.terminal for r in self.requests)
+
+    def all_settled(self) -> Event:
+        """Event firing once every submitted request is terminal."""
+        event = Event(self.env)
+        if self.settled:
+            event.succeed(self)
+        else:
+            self._settle_waiters.append(event)
+        return event
+
+    def _check_settled(self) -> None:
+        if not self.settled:
+            return
+        waiters, self._settle_waiters = self._settle_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(self)
+
+    # -- the scan/execute loop ------------------------------------------------------------
+
+    def _ensure_loop(self) -> None:
+        if self._loop_proc is None or not self._loop_proc.is_alive:
+            self._loop_proc = self.env.process(self._run(), name="fleet.loop")
+
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def _run(self):
+        while True:
+            started = self._scan()
+            if not self._running and not len(self.admission):
+                self._check_settled()
+                return  # drained; a new submit restarts the loop
+            if started == 0 and not self._running and len(self.admission):
+                # Nothing runs, nothing could start, and no completion
+                # will ever wake us: the queued requests are infeasible.
+                self._fail_stuck_requests()
+                continue
+            self._wake = Event(self.env)
+            yield self._wake
+            self._wake = None
+
+    def _fail_stuck_requests(self) -> None:
+        for request in self.admission.pending:
+            self._finish(
+                request,
+                FAILED,
+                error=f"no feasible placement ({request.defer_reason or 'unknown'})",
+            )
+
+    def _scan(self) -> int:
+        """One admission/planning/start pass; returns migrations started."""
+        batch = self.admission.select(self._running)
+        if not batch:
+            return 0
+
+        # 1. placement — reservation-aware, blacklist-honouring.
+        planned: List[PlannedMigration] = []
+        by_item: Dict[PlannedMigration, MigrationRequest] = {}
+        for request in batch:
+            try:
+                plan = self._build_plan(request)
+            except (SchedulerError, PlanError, FleetError) as err:
+                request.defer_reason = "no-placement"
+                request.error = str(err)
+                self.admission.stats.defer("no-placement")
+                self.admission.submit(request, requeue=True)
+                continue
+            item = PlannedMigration(plan).refresh(self.cluster)
+            planned.append(item)
+            by_item[item] = request
+
+        if not planned:
+            return 0
+
+        # 2. destination-swap post-pass over the whole batch.
+        if self.config.destination_swap and len(planned) > 1:
+            self.planner.destination_swap(planned)
+            if self.planner.swaps_applied:
+                self.swaps_applied += self.planner.swaps_applied
+                self.cluster.trace(
+                    "fleet", "destination_swap", swaps=self.planner.swaps_applied
+                )
+
+        # 3. sequencing: only the first (link-disjoint) wave starts now.
+        busy_links = frozenset().union(
+            *(item.links for item in self._running_footprint.values())
+        ) if self._running_footprint else frozenset()
+        if self.config.sequencing:
+            waves = self.planner.waves(planned, busy_links=busy_links)
+            startable, held = waves[0], [i for wave in waves[1:] for i in wave]
+        else:
+            startable, held = list(planned), []
+        for item in held:
+            request = by_item[item]
+            request.defer_reason = "link-conflict"
+            self.admission.stats.defer("link-conflict")
+            self.admission.submit(request, requeue=True)
+
+        # 4. link budget + reservation claims, then launch.
+        started = 0
+        inflight_loads = self._inflight_link_loads()
+        for item in startable:
+            request = by_item[item]
+            if self._over_budget(item, inflight_loads):
+                request.defer_reason = "link-budget"
+                self.admission.stats.defer("link-budget")
+                self.admission.submit(request, requeue=True)
+                continue
+            try:
+                self.store.claim_plan(item.plan, owner=request)
+            except FleetError as err:
+                request.defer_reason = "reservation"
+                request.error = str(err)
+                self.admission.stats.defer("reservation")
+                self.admission.submit(request, requeue=True)
+                continue
+            self._start(request, item)
+            for dlink, nbytes in item.bytes_by_link.items():
+                inflight_loads[dlink] = inflight_loads.get(dlink, 0.0) + nbytes
+            started += 1
+        if started:
+            self.wave_log.append(started)
+        return started
+
+    # -- gates & helpers ---------------------------------------------------------------
+
+    def _inflight_link_loads(self) -> Dict[object, float]:
+        loads: Dict[object, float] = {}
+        for item in self._running_footprint.values():
+            for dlink, nbytes in item.bytes_by_link.items():
+                loads[dlink] = loads.get(dlink, 0.0) + nbytes
+        return loads
+
+    def _over_budget(self, item: PlannedMigration, loads: Dict[object, float]) -> bool:
+        budget_s = self.config.link_budget_s
+        if budget_s is None:
+            return False
+        for dlink, nbytes in item.bytes_by_link.items():
+            current = loads.get(dlink, 0.0)
+            # An idle link always admits one request — the budget bounds
+            # *stacking*, it must not make a big migration infeasible.
+            if current > 0 and current + nbytes > budget_s * dlink.capacity_Bps:
+                return True
+        return False
+
+    def _build_plan(self, request: MigrationRequest) -> MigrationPlan:
+        record = request.fleet_job
+        qemus = record.qemus
+        exclude = set(request.blacklist)
+        if request.kind == "fallback":
+            hosts = self.placement.pick_packed(
+                qemus,
+                self.cluster.eth_only_nodes(),
+                consolidate_to=request.consolidate_to,
+                exclude=exclude,
+            )
+            attach = False
+        elif request.kind == "recovery":
+            hosts = self.placement.pick_spread(
+                qemus,
+                self.cluster.ib_nodes(),
+                exclude=exclude,
+                need_hca=True,
+            )
+            attach = True
+        elif request.kind == "evacuate":
+            hosts = self.placement.pick_spread(
+                qemus,
+                self._evacuation_candidates(record, exclude),
+                exclude=exclude,
+                kind="healthy",
+            )
+            attach = None
+        elif request.kind == "spread":
+            if not request.dst_hosts:
+                raise SchedulerError("spread request needs explicit dst_hosts")
+            hosts = [h for h in request.dst_hosts if h not in exclude]
+            if len(hosts) < len(request.dst_hosts):
+                raise SchedulerError("all explicit destinations are blacklisted")
+            attach = None
+        else:
+            raise FleetError(f"unknown request kind {request.kind!r}")
+        return MigrationPlan.build(
+            self.cluster, qemus, hosts, attach_ib=attach, label=request.label
+        )
+
+    def _evacuation_candidates(self, record: FleetJob, exclude) -> List:
+        """Empty healthy nodes, current hosts excluded."""
+        current = set(record.hosts())
+        healthy = None
+        if self._monitor is not None:
+            healthy = set(self._monitor.healthy_nodes())
+        nodes = []
+        for name in sorted(self.cluster.nodes):
+            if name in current or name in exclude:
+                continue
+            if healthy is not None and name not in healthy:
+                continue
+            node = self.cluster.node(name)
+            if node.vms:
+                continue
+            nodes.append(node)
+        return nodes
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _start(self, request: MigrationRequest, item: PlannedMigration) -> None:
+        request.status = RUNNING
+        request.attempts += 1
+        request.started_at = self.env.now
+        request.defer_reason = ""
+        request.fleet_job.busy = True
+        self._running.append(request)
+        self._running_footprint[request] = item
+        self.store.begin_migration(request, item.plan)
+        self.cluster.trace(
+            "fleet", "started", request=request.request_id, job=request.job_id,
+            label=item.plan.label, attempt=request.attempts,
+            concurrency=len(self._running),
+        )
+        self.env.process(
+            self._execute(request, item), name=f"fleet.{item.plan.label}"
+        )
+
+    def _execute(self, request: MigrationRequest, item: PlannedMigration):
+        plan = item.plan
+        try:
+            try:
+                result = yield from self.ninja.execute(
+                    request.fleet_job.job, plan
+                )
+            except MigrationAbortedError as err:
+                self._finish(request, FAILED, error=f"unrecoverable: {err}")
+                return
+            except ReproError as err:
+                # e.g. the job finished before the trigger landed.
+                self._finish(request, FAILED, error=str(err))
+                return
+            request.result = result
+            if result.aborted and not result.committed:
+                for entry in plan.entries:
+                    if not entry.is_self_migration:
+                        request.blacklist.add(entry.dst_host)
+                if request.attempts >= request.max_attempts:
+                    self._finish(request, ABORTED, error=result.error)
+                else:
+                    self.cluster.trace(
+                        "fleet", "retry_enqueued", request=request.request_id,
+                        job=request.job_id, blacklisted=sorted(request.blacklist),
+                    )
+                    self.admission.submit(request, requeue=True)
+            else:
+                self._finish(request, COMPLETED)
+        finally:
+            request.fleet_job.busy = False
+            self.store.end_migration(request)
+            if request in self._running:
+                self._running.remove(request)
+            self._running_footprint.pop(request, None)
+            if request.status == RUNNING:
+                request.status = PENDING
+            self._kick()
+
+    def _finish(self, request: MigrationRequest, status: str, error: str = "") -> None:
+        request.status = status
+        request.error = error
+        request.finished_at = self.env.now
+        self.cluster.trace(
+            "fleet", status, request=request.request_id, job=request.job_id,
+            error=error,
+        )
+        if request.done is not None and not request.done.triggered:
+            request.done.succeed(request)
+        self._check_settled()

@@ -1,0 +1,198 @@
+"""The canned fleet experiment behind ``repro fleet`` and the benchmark.
+
+A two-site estate: the IB-cabled primary runs one single-VM-group MPI
+job per blade; the operator drains the whole IB sub-cluster onto the
+Ethernet estate, half of which sits behind a thin WAN pipe at a backup
+site.  Each job arrives with a naive round-robin destination (job *i* →
+``eth0i``), which sends the *large* jobs over the WAN.
+
+* **naive** mode (``sequenced=False``) executes that assignment as
+  given, all migrations at once — the baseline;
+* **sequenced** mode runs the full planner: the destination-swap pass
+  re-maps large jobs onto local Ethernet hosts (small ones absorb the
+  WAN hop), and wave sequencing serialises the migrations that still
+  share the WAN bottleneck.
+
+The function returns a :class:`FleetScenarioResult` with the makespan,
+per-wave concurrency, and deferral counts — the benchmark artifact's
+payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.cluster import Cluster
+from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
+from repro.sim.trace import Tracer
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB, MiB, gbps
+from repro.vmm.guest_memory import PageClass
+
+#: Guest-RAM size for fleet-scenario VMs (smaller than the paper's
+#: 20 GiB so destination hosts can absorb several).
+FLEET_VM_MEMORY = 4 * GiB
+#: Resident data set of a "small" job's VM (compresses to ~this on wire).
+SMALL_DATA_BYTES = 256 * MiB
+#: Resident data set of a "large" job's VM.
+LARGE_DATA_BYTES = 1536 * MiB
+
+
+@dataclass
+class FleetScenarioResult:
+    """Everything ``repro fleet`` prints and BENCH_fleet.json records."""
+
+    sequenced: bool
+    jobs: int
+    vms_per_job: int
+    makespan_s: float
+    #: Migrations started by each scan that started any — the de-facto
+    #: concurrency of each execution wave.
+    wave_concurrency: List[int] = field(default_factory=list)
+    deferred: Dict[str, int] = field(default_factory=dict)
+    deferred_total: int = 0
+    destination_swaps: int = 0
+    completed: int = 0
+    aborted: int = 0
+    failed: int = 0
+    outcomes: List[Dict[str, object]] = field(default_factory=list)
+    final_hosts: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def build_fleet_cluster(
+    nvms: int,
+    wan_gbps: float = 1.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> Cluster:
+    """Primary site (IB blades + local Ethernet) plus a WAN-attached backup.
+
+    ``nvms`` IB-cabled source blades, ``ceil(nvms/2)`` Ethernet hosts in
+    the primary enclosure, and ``floor(nvms/2)`` (at least one) behind
+    the WAN — so a one-for-one drain *must* push half the fleet through
+    the bottleneck unless the planner re-maps destinations.
+    """
+    if nvms < 2:
+        raise ValueError("fleet scenario needs at least 2 VMs")
+    cluster = Cluster(seed=seed, tracer=tracer)
+    ib_names = [f"ib{i + 1:02d}" for i in range(nvms)]
+    eth_names = [f"eth{i + 1:02d}" for i in range(nvms)]
+    local_eth = eth_names[: (nvms + 1) // 2]
+    remote_eth = eth_names[(nvms + 1) // 2:]
+    for name in ib_names + eth_names:
+        cluster.add_node(name)
+    cluster.wire_ethernet(
+        sites={"primary": ib_names + local_eth, "backup": remote_eth},
+        wan_bandwidth_Bps=gbps(wan_gbps),
+        wan_latency_s=5e-3,
+    )
+    cluster.wire_infiniband(ib_names)
+    return cluster
+
+
+def _busy(proc, comm):
+    """Compute/barrier loop — keeps ranks inside MPI calls so the
+    SymVirt coordinator can service checkpoint requests."""
+    for _ in range(1_000_000):
+        yield proc.vm.compute(0.2, nthreads=1)
+        yield from comm.barrier()
+
+
+def run_fleet_scenario(
+    jobs: int = 8,
+    vms_per_job: int = 1,
+    sequenced: bool = True,
+    wan_gbps: float = 1.0,
+    tenants: int = 2,
+    link_budget_s: Optional[float] = 30.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    orchestrator_out: Optional[list] = None,
+) -> FleetScenarioResult:
+    """Drain ``jobs`` MPI jobs off the IB sub-cluster through the fleet
+    orchestrator; return makespan + concurrency + deferral metrics.
+
+    ``orchestrator_out``, when given, receives the live
+    :class:`FleetOrchestrator` (for tests that want to poke at state).
+    """
+    nvms = jobs * vms_per_job
+    cluster = build_fleet_cluster(nvms, wan_gbps=wan_gbps, seed=seed, tracer=tracer)
+    env = cluster.env
+    config = (
+        FleetConfig(link_budget_s=link_budget_s)
+        if sequenced
+        else FleetConfig.naive()
+    )
+    orch = FleetOrchestrator(cluster, config=config)
+    if orchestrator_out is not None:
+        orchestrator_out.append(orch)
+
+    eth_names = [f"eth{i + 1:02d}" for i in range(nvms)]
+    records = []
+    for i in range(jobs):
+        src_hosts = [f"ib{i * vms_per_job + k + 1:02d}" for k in range(vms_per_job)]
+        qemus = provision_vms(
+            cluster, src_hosts, memory_bytes=FLEET_VM_MEMORY, name_prefix=f"j{i}"
+        )
+        job = create_job(cluster, qemus)
+        done = env.process(job.init(), name=f"fleet.init.j{i}")
+        env.run(until=done)
+        data = SMALL_DATA_BYTES if i < jobs // 2 else LARGE_DATA_BYTES
+        for q in qemus:
+            q.vm.memory.write(0, data, PageClass.DATA)
+        job.launch(_busy)
+        orch.register_job(f"j{i}", job, qemus, tenant=f"t{i % max(tenants, 1)}")
+        dst_hosts = [
+            eth_names[(i * vms_per_job + k) % nvms] for k in range(vms_per_job)
+        ]
+        records.append((f"j{i}", qemus, dst_hosts))
+
+    start_at = env.now + 1.0
+    requests = []
+
+    def _submit_all():
+        yield env.timeout(start_at - env.now)
+        for job_id, _, dst_hosts in records:
+            requests.append(orch.submit(job_id, kind="spread", dst_hosts=dst_hosts))
+
+    env.process(_submit_all(), name="fleet.submit")
+    env.run(until=start_at + 0.001)  # requests now queued; loop running
+    env.run(until=orch.all_settled())
+
+    outcomes = [
+        {
+            "request": r.request_id,
+            "job": r.job_id,
+            "status": r.status,
+            "attempts": r.attempts,
+            "duration_s": (
+                round(r.finished_at - r.submitted_at, 3)
+                if r.finished_at is not None
+                else None
+            ),
+            "error": r.error,
+        }
+        for r in requests
+    ]
+    statuses = [r.status for r in requests]
+    return FleetScenarioResult(
+        sequenced=sequenced,
+        jobs=jobs,
+        vms_per_job=vms_per_job,
+        makespan_s=round(env.now - start_at, 3),
+        wave_concurrency=list(orch.wave_log),
+        deferred=dict(orch.admission.stats.deferred),
+        deferred_total=orch.admission.stats.deferred_total,
+        destination_swaps=orch.swaps_applied,
+        completed=statuses.count("completed"),
+        aborted=statuses.count("aborted"),
+        failed=statuses.count("failed"),
+        outcomes=outcomes,
+        final_hosts={
+            job_id: [q.node.name for q in qemus] for job_id, qemus, _ in records
+        },
+    )

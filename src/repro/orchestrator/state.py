@@ -1,0 +1,236 @@
+"""The fleet state store: global truth for multi-job orchestration.
+
+One :class:`FleetStateStore` per datacenter tracks every registered job,
+every in-flight migration, and — crucially — **reservations** of
+destination capacity.  Placement decisions made in the same simulated
+tick see each other through the store, so two plans can never
+double-book the same host RAM or the same VMM-bypass HCA: the paper's
+single-sequence scheduler validated capacity against *instantaneous*
+free memory, which is only safe when exactly one plan exists at a time.
+
+Reservations are plain bookkeeping (no simulated time cost) and are
+deliberately conservative: a reservation is held from planning until
+the migration sequence terminates, even though the real RAM claim
+(:meth:`~repro.vmm.qemu.QemuProcess.relocate`) happens mid-sequence.
+Double-counting during that window can only defer a later plan, never
+oversubscribe a host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.errors import FleetError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.plan import MigrationPlan
+    from repro.hardware.cluster import Cluster
+    from repro.hardware.node import PhysicalNode
+    from repro.mpi.runtime import MpiJob
+    from repro.vmm.qemu import QemuProcess
+
+_reservation_ids = count()
+
+
+@dataclass(eq=False)
+class Reservation:
+    """A claim on destination-host capacity (and optionally its HCA)."""
+
+    host: str
+    nbytes: int
+    owner: object
+    hca: bool = False
+    reservation_id: int = field(default_factory=lambda: next(_reservation_ids))
+    #: Cleared when released; double-release is an error.
+    active: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "+hca" if self.hca else ""
+        return f"<Reservation #{self.reservation_id} {self.host} {self.nbytes}B{kind}>"
+
+
+@dataclass
+class FleetJob:
+    """One tenant job under fleet management."""
+
+    job_id: str
+    tenant: str
+    job: "MpiJob"
+    qemus: List["QemuProcess"]
+    #: True while a migration sequence for this job is in flight — at
+    #: most one sequence may own a job's VMs at a time (the SymVirt park
+    #: is job-global).
+    busy: bool = False
+
+    def hosts(self) -> List[str]:
+        return [q.node.name for q in self.qemus]
+
+
+class FleetStateStore:
+    """Reservations + job/migration registries for one cluster."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self._reservations: Dict[str, List[Reservation]] = {}
+        self.jobs: Dict[str, FleetJob] = {}
+        #: Plans currently executing (plan → owner token).
+        self.inflight: Dict[object, "MigrationPlan"] = {}
+        #: Monotone counters for diagnostics / benchmark artifacts.
+        self.total_reserved = 0
+        self.total_released = 0
+
+    # -- job registry ----------------------------------------------------------
+
+    def register_job(
+        self,
+        job_id: str,
+        job: "MpiJob",
+        qemus: Sequence["QemuProcess"],
+        tenant: str = "default",
+    ) -> FleetJob:
+        if job_id in self.jobs:
+            raise FleetError(f"duplicate job id {job_id!r}")
+        record = FleetJob(job_id=job_id, tenant=tenant, job=job, qemus=list(qemus))
+        self.jobs[job_id] = record
+        self.cluster.trace(
+            "fleet", "job_registered", job=job_id, tenant=tenant,
+            hosts=record.hosts(),
+        )
+        return record
+
+    def job(self, job_id: str) -> FleetJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise FleetError(f"unknown job {job_id!r}") from None
+
+    def jobs_on(self, host: str) -> List[FleetJob]:
+        """Jobs with at least one VM currently on ``host``."""
+        return [
+            record
+            for record in self.jobs.values()
+            if any(q.node.name == host for q in record.qemus)
+        ]
+
+    # -- capacity reservations --------------------------------------------------
+
+    def reserved_bytes(self, host: str) -> int:
+        return sum(r.nbytes for r in self._reservations.get(host, ()))
+
+    def hca_reserved(self, host: str) -> bool:
+        return any(r.hca for r in self._reservations.get(host, ()))
+
+    def available_bytes(self, node: "PhysicalNode") -> float:
+        """Free memory net of reservations (never negative)."""
+        return max(node.free_memory - self.reserved_bytes(node.name), 0.0)
+
+    def reserve(
+        self, host: str, nbytes: int, owner: object, hca: bool = False
+    ) -> Reservation:
+        """Claim ``nbytes`` of ``host`` RAM (and its HCA when asked).
+
+        Raises :class:`~repro.errors.FleetError` when the claim would
+        oversubscribe the host — the invariant the property tests pin.
+        """
+        node = self.cluster.node(host)
+        if nbytes > self.available_bytes(node):
+            raise FleetError(
+                f"{host}: reserving {nbytes} B would oversubscribe "
+                f"({self.available_bytes(node):.0f} B available after "
+                f"{self.reserved_bytes(host)} B already reserved)"
+            )
+        if hca and self.hca_reserved(host):
+            raise FleetError(f"{host}: HCA already reserved")
+        reservation = Reservation(host=host, nbytes=int(nbytes), owner=owner, hca=hca)
+        self._reservations.setdefault(host, []).append(reservation)
+        self.total_reserved += 1
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        if not reservation.active:
+            raise FleetError(f"double release of {reservation!r}")
+        reservation.active = False
+        bucket = self._reservations.get(reservation.host, [])
+        bucket.remove(reservation)
+        if not bucket:
+            self._reservations.pop(reservation.host, None)
+        self.total_released += 1
+
+    def release_owner(self, owner: object) -> int:
+        """Release every reservation held by ``owner``; returns the count."""
+        mine = [
+            r for bucket in self._reservations.values() for r in bucket
+            if r.owner is owner
+        ]
+        for reservation in mine:
+            self.release(reservation)
+        return len(mine)
+
+    def move(self, reservation: Reservation, new_host: str) -> Reservation:
+        """Re-home a reservation (the planner's destination-swap pass).
+
+        Atomic: the original claim is only dropped once the new host
+        accepted the bytes, so a failed move leaves state unchanged.
+        """
+        replacement = self.reserve(
+            new_host, reservation.nbytes, reservation.owner, hca=reservation.hca
+        )
+        self.release(reservation)
+        return replacement
+
+    # -- plan-level claims -------------------------------------------------------
+
+    def claim_plan(self, plan: "MigrationPlan", owner: Optional[object] = None) -> List[Reservation]:
+        """Reserve every destination the plan lands on (keyed by ``owner``).
+
+        Self-migrations reserve nothing (the VM already owns its RAM).
+        """
+        key = owner if owner is not None else plan
+        claimed: List[Reservation] = []
+        try:
+            for entry in plan.entries:
+                if entry.is_self_migration:
+                    continue
+                claimed.append(
+                    self.reserve(
+                        entry.dst_host,
+                        entry.qemu.vm.memory.size_bytes,
+                        key,
+                        hca=entry.attach_ib,
+                    )
+                )
+        except FleetError:
+            for reservation in claimed:
+                self.release(reservation)
+            raise
+        return claimed
+
+    # -- in-flight migrations -----------------------------------------------------
+
+    def begin_migration(self, owner: object, plan: "MigrationPlan") -> None:
+        if owner in self.inflight:
+            raise FleetError(f"owner {owner!r} already has a migration in flight")
+        self.inflight[owner] = plan
+
+    def end_migration(self, owner: object) -> None:
+        self.inflight.pop(owner, None)
+        self.release_owner(owner)
+
+    def inflight_plans(self) -> List["MigrationPlan"]:
+        return list(self.inflight.values())
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert no host is oversubscribed (free memory covers claims)."""
+        for host, bucket in self._reservations.items():
+            node = self.cluster.node(host)
+            claimed = sum(r.nbytes for r in bucket)
+            if claimed > node.free_memory:
+                raise FleetError(
+                    f"{host}: {claimed} B reserved exceeds "
+                    f"{node.free_memory:.0f} B free"
+                )

@@ -124,6 +124,14 @@ class Tracer:
             )
         return "\n".join(lines)
 
+    def save(self, path: str) -> int:
+        """Write all records to ``path`` as JSON Lines; returns the count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self.records)
+
     def __len__(self) -> int:
         return len(self.records)
 

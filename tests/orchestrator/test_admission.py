@@ -1,0 +1,91 @@
+"""Admission controller: priority order, concurrency gates, backpressure."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.orchestrator.admission import (
+    COMPLETED,
+    AdmissionController,
+    MigrationRequest,
+)
+from repro.orchestrator.state import FleetJob
+
+
+def _request(job_id, tenant="default", priority=0, kind="fallback"):
+    record = FleetJob(job_id=job_id, tenant=tenant, job=None, qemus=[])
+    return MigrationRequest(fleet_job=record, kind=kind, priority=priority)
+
+
+def test_priority_order_with_fifo_ties():
+    ctl = AdmissionController()
+    low = _request("a", priority=0)
+    high = _request("b", priority=100)
+    low2 = _request("c", priority=0)
+    for r in (low, high, low2):
+        ctl.submit(r)
+    assert ctl.select(inflight=[]) == [high, low, low2]
+    assert len(ctl) == 0
+
+
+def test_job_busy_gate_defers():
+    ctl = AdmissionController()
+    first = _request("a")
+    second = _request("a")  # same job
+    ctl.submit(first)
+    ctl.submit(second)
+    batch = ctl.select(inflight=[])
+    assert batch == [first]
+    assert second.defer_reason == "job-busy"
+    assert ctl.stats.deferred["job-busy"] == 1
+    # Deferred, not dropped: it comes out once the job is free again.
+    assert ctl.select(inflight=[]) == [second]
+
+
+def test_global_limit_counts_inflight():
+    ctl = AdmissionController(max_inflight_total=2)
+    running = _request("r")
+    queued = [_request(f"q{i}") for i in range(3)]
+    for r in queued:
+        ctl.submit(r)
+    batch = ctl.select(inflight=[running])
+    assert batch == [queued[0]]
+    assert ctl.stats.deferred["global-limit"] == 2
+
+
+def test_tenant_limit_is_per_tenant():
+    ctl = AdmissionController(max_inflight_per_tenant=1)
+    a1 = _request("a1", tenant="acme")
+    a2 = _request("a2", tenant="acme")
+    b1 = _request("b1", tenant="blub")
+    for r in (a1, a2, b1):
+        ctl.submit(r)
+    batch = ctl.select(inflight=[])
+    assert batch == [a1, b1]
+    assert a2.defer_reason == "tenant-limit"
+
+
+def test_requeue_does_not_recount_submission():
+    ctl = AdmissionController()
+    r = _request("a")
+    ctl.submit(r)
+    assert ctl.stats.submitted == 1
+    [r] = ctl.select(inflight=[])
+    ctl.submit(r, requeue=True)
+    assert ctl.stats.submitted == 1
+    assert len(ctl) == 1
+
+
+def test_terminal_requests_are_rejected_and_skipped():
+    ctl = AdmissionController()
+    r = _request("a")
+    ctl.submit(r)
+    r.status = COMPLETED
+    with pytest.raises(FleetError):
+        ctl.submit(_request_terminal())
+    assert ctl.select(inflight=[]) == []  # withdrawn while queued
+
+
+def _request_terminal():
+    r = _request("t")
+    r.status = COMPLETED
+    return r

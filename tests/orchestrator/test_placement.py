@@ -1,0 +1,96 @@
+"""Placement engine + the reservation-aware cloud scheduler."""
+
+import pytest
+
+from repro.core.scheduler import CloudScheduler
+from repro.errors import SchedulerError
+from repro.orchestrator.placement import PlacementEngine
+from repro.orchestrator.state import FleetStateStore
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+
+from tests.conftest import drive
+
+
+def _vms(cluster, hosts, prefix="vm"):
+    qemus = provision_vms(cluster, hosts, memory_bytes=4 * GiB, name_prefix=prefix)
+    job = create_job(cluster, qemus)
+    drive(cluster.env, job.init(), name=f"init.{prefix}")
+    return job, qemus
+
+
+def test_packed_and_spread_policies(cluster44):
+    _, qemus = _vms(cluster44, ["ib01", "ib02"])
+    engine = PlacementEngine(cluster44)
+    assert engine.pick_packed(qemus, cluster44.eth_only_nodes()) == ["eth01", "eth02"]
+    assert engine.pick_packed(
+        qemus, cluster44.eth_only_nodes(), consolidate_to=1
+    ) == ["eth01"]
+    assert engine.pick_spread(qemus, cluster44.ib_nodes(), exclude={"ib01"}) == [
+        "ib02", "ib03",
+    ]
+
+
+def test_reservations_hide_capacity(cluster44):
+    _, qemus = _vms(cluster44, ["ib01"])
+    store = FleetStateStore(cluster44)
+    engine = PlacementEngine(cluster44, store)
+    node = cluster44.node("eth01")
+    store.reserve("eth01", int(store.available_bytes(node)), owner="other")
+    assert engine.pick_packed(qemus, cluster44.eth_only_nodes()) == ["eth02"]
+
+
+def test_hca_reservation_blocks_attach_placement(cluster44):
+    _, qemus = _vms(cluster44, ["eth01"])
+    store = FleetStateStore(cluster44)
+    engine = PlacementEngine(cluster44, store)
+    store.reserve("ib01", 1 * GiB, owner="other", hca=True)
+    hosts = engine.pick_spread(qemus, cluster44.ib_nodes(), need_hca=True)
+    assert hosts == ["ib02"]
+
+
+def test_scheduler_claims_through_the_store(cluster44):
+    store = FleetStateStore(cluster44)
+    sched_a = CloudScheduler(cluster44, state=store)
+    sched_b = CloudScheduler(cluster44, state=store)
+    _, qemus_a = _vms(cluster44, ["ib01"], prefix="a")
+    _, qemus_b = _vms(cluster44, ["ib02"], prefix="b")
+    # Leave exactly one VM slot on eth01 so the two plans *must* contend.
+    node = cluster44.node("eth01")
+    store.reserve("eth01", int(store.available_bytes(node)) - 4 * GiB, owner="hog")
+    plan_a = sched_a.plan_fallback(qemus_a, consolidate_to=1)
+    assert plan_a.dst_hostlist == ["eth01"]
+    # The second scheduler sees the first one's claim and picks elsewhere.
+    plan_b = sched_b.plan_fallback(qemus_b, consolidate_to=1)
+    assert plan_b.dst_hostlist == ["eth02"]
+    assert store.reserved_bytes("eth02") == 4 * GiB
+    sched_a.release_plan(plan_a)
+    assert store.available_bytes(node) == 4 * GiB
+
+
+def test_scheduler_releases_claim_after_run(cluster44):
+    store = FleetStateStore(cluster44)
+    scheduler = CloudScheduler(cluster44, state=store)
+    job, qemus = _vms(cluster44, ["ib01"])
+
+    def busy(proc, comm):
+        for _ in range(100_000):
+            yield proc.vm.compute(0.2, nthreads=1)
+            yield from comm.barrier()
+
+    job.launch(busy)
+    plan = scheduler.plan_fallback(qemus)
+    dst = plan.dst_hostlist[0]
+    assert store.reserved_bytes(dst) == 4 * GiB
+    drive(cluster44.env, scheduler.run_now("test", plan, job), name="mig")
+    assert store.reserved_bytes(dst) == 0
+    assert qemus[0].node.name == dst
+
+
+def test_scheduler_without_store_matches_seed_behaviour(cluster44):
+    scheduler = CloudScheduler(cluster44)
+    _, qemus = _vms(cluster44, ["ib01", "ib02"])
+    assert scheduler.pick_fallback_hosts(qemus) == ["eth01", "eth02"]
+    assert scheduler.pick_recovery_hosts(qemus) == ["ib01", "ib02"]
+    with pytest.raises(SchedulerError):
+        scheduler.pick_fallback_hosts([])

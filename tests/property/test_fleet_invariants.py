@@ -1,0 +1,108 @@
+"""Fleet-orchestrator invariants under randomised workloads.
+
+The properties the state store + admission controller must uphold for
+*any* mix of jobs, sizes, priorities, tenants, and faults:
+
+1. **no oversubscription** — reservations never exceed a host's free
+   memory (a violation raises FleetError out of the store, failing the
+   test), and the store's own invariant check passes at every
+   settlement;
+2. **clean settlement** — every submitted request reaches a terminal
+   state: ``completed`` jobs run at their destinations, ``aborted`` jobs
+   run at their origins (transactional rollback), and the orchestrator
+   holds no leaked reservations or in-flight entries afterwards.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import build_agc_cluster
+from repro.orchestrator import FleetConfig, FleetOrchestrator
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB, MiB
+from repro.vmm.guest_memory import PageClass
+
+from tests.conftest import drive
+
+
+def _busy(proc, comm):
+    for _ in range(100_000):
+        yield proc.vm.compute(0.2, nthreads=1)
+        yield from comm.barrier()
+
+
+job_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=16, max_value=512),   # resident data [MiB]
+        st.integers(min_value=0, max_value=100),    # priority
+        st.integers(min_value=0, max_value=2),      # tenant index
+        st.floats(min_value=0.0, max_value=2.0),    # submit delay [s]
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+@given(
+    jobs=job_strategy,
+    max_per_tenant=st.sampled_from([None, 1, 2]),
+    inject_fault=st.booleans(),
+)
+@settings(max_examples=15, deadline=None)
+def test_no_oversubscription_and_clean_settlement(jobs, max_per_tenant, inject_fault):
+    cluster = build_agc_cluster(ib_nodes=4, eth_nodes=2)
+    env = cluster.env
+    config = FleetConfig(max_inflight_per_tenant=max_per_tenant, max_attempts=2)
+    orch = FleetOrchestrator(cluster, config=config)
+
+    origins = {}
+    for i, (data_mib, _prio, tenant, _delay) in enumerate(jobs):
+        host = f"ib{i + 1:02d}"
+        qemus = provision_vms(
+            cluster, [host], memory_bytes=2 * GiB, name_prefix=f"j{i}"
+        )
+        job = create_job(cluster, qemus)
+        drive(env, job.init(), name=f"init.j{i}")
+        qemus[0].vm.memory.write(0, data_mib * MiB, PageClass.DATA)
+        job.launch(_busy)
+        orch.register_job(f"j{i}", job, qemus, tenant=f"t{tenant}")
+        origins[f"j{i}"] = host
+
+    if inject_fault:
+        # One non-transient fault: some attempt aborts and rolls back.
+        cluster.faults.arm("ninja.migration", nth=1, times=1)
+
+    requests = []
+
+    def submit_all():
+        now = env.now
+        for i, (_data, prio, _tenant, delay) in enumerate(jobs):
+            yield env.timeout(max(now + delay - env.now, 0.0))
+            requests.append(orch.submit(f"j{i}", kind="fallback", priority=prio))
+        yield orch.all_settled()
+
+    drive(env, submit_all(), name="submit")
+
+    # Property 1: the store never oversubscribed a host, and holds
+    # nothing after settlement.
+    orch.store.check_invariants()
+    assert orch.store.total_released == orch.store.total_reserved
+    assert not orch.store.inflight
+
+    # Property 2: every request is terminal; completed jobs moved off
+    # the IB sub-cluster, aborted ones rolled back to their origin.
+    assert len(requests) == len(jobs)
+    for request in requests:
+        assert request.terminal, request
+        hosts = [q.node.name for q in request.fleet_job.qemus]
+        if request.status == "completed":
+            assert all(h.startswith("eth") for h in hosts), request
+        elif request.status == "aborted":
+            assert hosts == [origins[request.job_id]], request
+        else:  # "failed" is reachable only via no-placement here
+            assert "no feasible placement" in request.error, request
+
+    # Physical truth backs the book-keeping: no node holds more guest
+    # RAM than it has.
+    for node in cluster.nodes.values():
+        assert node.free_memory >= 0

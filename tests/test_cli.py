@@ -43,6 +43,30 @@ def test_fig8_short(capsys):
     assert "total migration overhead" in out
 
 
+def test_fleet_small_drain(capsys, tmp_path):
+    trace = tmp_path / "fleet.jsonl"
+    assert main([
+        "fleet", "--jobs", "2", "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet drain" in out
+    assert "makespan" in out
+    assert "completed" in out
+    assert trace.exists()
+    lines = trace.read_text().strip().splitlines()
+    assert lines
+    import json
+
+    records = [json.loads(line) for line in lines]
+    assert any(r["category"] == "fleet" for r in records)
+
+
+def test_fleet_naive_mode(capsys):
+    assert main(["fleet", "--jobs", "2", "--naive"]) == 0
+    out = capsys.readouterr().out
+    assert "naive (all at once)" in out
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
