@@ -44,6 +44,15 @@ from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
 from repro.orchestrator.placement import PlacementEngine
 from repro.orchestrator.planner import WavePlanner
 from repro.orchestrator.state import FleetStateStore
+from repro.recovery import (
+    HeartbeatMonitor,
+    JournalRecord,
+    MigrationJournal,
+    MigrationSnapshot,
+    PhiAccrualFailureDetector,
+    RecoveryManager,
+    RecoveryReport,
+)
 from repro.sim.core import Environment
 from repro.symvirt.controller import Controller
 from repro.symvirt.coordinator import SymVirtCoordinator
@@ -61,18 +70,25 @@ __all__ = [
     "FleetOrchestrator",
     "FleetStateStore",
     "FtSettings",
+    "HeartbeatMonitor",
     "IterationSample",
     "IterationSeries",
+    "JournalRecord",
+    "MigrationJournal",
     "MigrationPlan",
     "MigrationRequest",
+    "MigrationSnapshot",
     "MpiJob",
     "MpiProcess",
     "NinjaMigration",
     "NinjaResult",
     "OverheadBreakdown",
     "PAPER_CALIBRATION",
+    "PhiAccrualFailureDetector",
     "PlacementEngine",
     "QemuProcess",
+    "RecoveryManager",
+    "RecoveryReport",
     "WavePlanner",
     "SymVirtCoordinator",
     "__version__",

@@ -8,21 +8,30 @@
     python -m repro fig7   [--bench BT,CG,FT,LU] [--npb-class C|D]
     python -m repro fig8   [--ppv 1] [--iterations 40]
     python -m repro demo   [--inject-phase PHASE] [--inject-nth N] [--inject-transient]
-                           [--trace-out PATH]
+                           [--crash-at PHASE] [--recover] [--trace-out PATH]
     python -m repro fleet  [--jobs 8] [--vms-per-job 1] [--naive]
-                           [--wan-gbps 1.0] [--trace-out PATH]
+                           [--wan-gbps 1.0] [--inject-site SITE] [--inject-nth N]
+                           [--inject-transient] [--crash-at-time T] [--no-recover]
+                           [--trace-out PATH]
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
 the phase timeline.  The ``--inject-*`` flags arm the deterministic fault
 injector so the demo exercises the transactional abort/rollback (or, with
-``--inject-transient``, the retry/backoff) path.
+``--inject-transient``, the retry/backoff) path.  ``--crash-at`` kills the
+*controller* (not a component) at a journal boundary; with ``--recover``
+the crash is followed by journal replay + reconciliation
+(:mod:`repro.recovery`).  Exit status: 0 clean, 1 migration aborted,
+2 controller crashed and was not (or could not be) cleanly recovered.
 
 ``fleet`` drains a whole IB sub-cluster through the fleet orchestrator
 (one migration request per job) and reports makespan, per-wave
 concurrency, and admission deferrals; ``--naive`` disables the
-bandwidth-aware planner for an all-at-once baseline.  ``--trace-out``
-dumps the full simulation trace as JSON Lines.
+bandwidth-aware planner for an all-at-once baseline.  ``--crash-at-time``
+runs the crash drill instead: the controller dies T simulated seconds
+into the drain, a recovery manager reconciles, and a successor
+orchestrator resubmits the orphaned requests.  ``--trace-out`` dumps the
+full simulation trace as JSON Lines.
 """
 
 from __future__ import annotations
@@ -137,10 +146,24 @@ def _save_trace(tracer, path: Optional[str]) -> None:
         print(f"wrote {count} trace records to {path}")
 
 
+#: ``--crash-at`` phase → ``controller.crash.*`` site suffix.  The
+#: migration phase crashes *mid-precopy* (the orphaned-stream case);
+#: other phases crash at their intent boundary.
+_CRASH_SITES = {
+    "coordination": "coordination.intent",
+    "detach": "detach.intent",
+    "migration": "migration.inflight",
+    "attach": "attach.intent",
+    "confirm": "confirm.intent",
+    "resume": "resume.intent",
+    "linkup": "linkup.intent",
+}
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import repro
     from repro import workloads
-    from repro.errors import QmpError
+    from repro.errors import ControllerCrashError, QmpError
     from repro.units import GB
 
     cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
@@ -159,16 +182,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"armed {'transient' if args.inject_transient else 'fatal'} fault "
             f"at ninja.{args.inject_phase} (call #{args.inject_nth})"
         )
+    if args.crash_at:
+        site = f"controller.crash.{_CRASH_SITES[args.crash_at]}"
+        cluster.faults.arm(site, error=ControllerCrashError)
+        print(f"armed controller crash at {site}")
 
-    def experiment():
-        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
-        job = repro.create_job(cluster, vms, procs_per_vm=1)
-        yield from job.init()
-        job.launch(workloads.BcastReduceLoop(iterations=6, bytes_per_node=8 * GB).rank_main)
-        yield env.timeout(20.0)
-        scheduler = repro.CloudScheduler(cluster)
-        result = yield from scheduler.run_now("demo", scheduler.plan_fallback(vms), job)
+    #: Exit code decided inside the experiment (0 ok, 1 aborted, 2 crash
+    #: unrecovered).
+    outcome = {"code": 0}
+
+    def report_result(result, vms, job):
         if result.aborted:
+            outcome["code"] = 1
             print(
                 f"fallback ABORTED in {result.failed_phase!r}: {result.error}\n"
                 f"  rollback: {' -> '.join(result.rollback_actions) or '(none)'}\n"
@@ -180,6 +205,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             if result.retries:
                 print(f"  transient faults absorbed by retry: {result.retries}")
         print(result.timeline.render())
+
+    def experiment():
+        from repro.recovery.recovery import RecoveryManager
+
+        vms = repro.provision_vms(cluster, ["ib01", "ib02", "ib03", "ib04"])
+        job = repro.create_job(cluster, vms, procs_per_vm=1)
+        yield from job.init()
+        job.launch(workloads.BcastReduceLoop(iterations=6, bytes_per_node=8 * GB).rank_main)
+        yield env.timeout(20.0)
+        scheduler = repro.CloudScheduler(cluster)
+        try:
+            result = yield from scheduler.run_now(
+                "demo", scheduler.plan_fallback(vms), job
+            )
+        except ControllerCrashError as err:
+            parked = sum(1 for q in vms if q.vm.hypercall.parked)
+            print(f"CONTROLLER CRASHED: {err}")
+            print(f"  orphaned state: {parked} VM(s) parked, "
+                  f"hosts {sorted(q.node.name for q in vms)}")
+            if not args.recover:
+                outcome["code"] = 2
+                print("  no --recover: guests stay parked, cluster is wedged")
+                return
+            manager = RecoveryManager(cluster, scheduler.ninja.journal)
+            report = yield from manager.recover(reason=f"demo crash at {args.crash_at}")
+            for d in report.decisions:
+                print(
+                    f"  recovery[{d.mid}]: {d.decision} ({d.basis}); "
+                    f"actions: {' -> '.join(d.actions) or '(none)'}"
+                )
+                print(f"    VMs now on: {sorted(d.final_hosts.items())}")
+                if d.parked_after:
+                    print(f"    STILL PARKED: {d.parked_after}")
+            print(f"  fencing epoch now {report.epoch}"
+                  f" (stale controller commands are rejected)")
+            if not report.clean:
+                outcome["code"] = 2
+                return
+        else:
+            report_result(result, vms, job)
         yield env.timeout(5.0)
         print(f"transports: {job.transports_in_use()}")
         yield job.wait()
@@ -187,7 +252,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     env.process(experiment())
     env.run()
     _save_trace(cluster.tracer, args.trace_out)
-    return 0
+    return outcome["code"]
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -195,12 +260,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.sim.trace import Tracer
 
     tracer = Tracer()
+    if args.crash_at_time is not None:
+        return _cmd_fleet_crash(args, tracer)
     result = run_fleet_scenario(
         jobs=args.jobs,
         vms_per_job=args.vms_per_job,
         sequenced=not args.naive,
         wan_gbps=args.wan_gbps,
         tracer=tracer,
+        inject_site=args.inject_site,
+        inject_nth=args.inject_nth,
+        inject_transient=args.inject_transient,
     )
     mode = "naive (all at once)" if args.naive else "sequenced (waves + swaps)"
     print(f"fleet drain — {result.jobs} jobs x {result.vms_per_job} VM(s), {mode}")
@@ -224,6 +294,42 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     _save_trace(tracer, args.trace_out)
     incomplete = result.aborted + result.failed
     return 0 if incomplete == 0 else 1
+
+
+def _cmd_fleet_crash(args: argparse.Namespace, tracer) -> int:
+    from repro.orchestrator.scenario import run_fleet_crash_scenario
+
+    result = run_fleet_crash_scenario(
+        jobs=args.jobs,
+        vms_per_job=args.vms_per_job,
+        crash_at_time=args.crash_at_time,
+        recover=not args.no_recover,
+        wan_gbps=args.wan_gbps,
+        tracer=tracer,
+    )
+    print(f"fleet crash drill — {result.jobs} jobs x {result.vms_per_job} VM(s)")
+    if not result.crashed:
+        print(f"  controller outlived the drill (crash armed at "
+              f"t+{result.crash_requested_at:.1f}s, fleet settled first)")
+    else:
+        print(f"  controller died at t={result.crash_time:.1f}s: {result.crash_error}")
+        if not result.recovery_epoch:
+            print("  no recovery requested: fleet left as the crash found it")
+        else:
+            print(f"  fencing epoch bumped to {result.recovery_epoch}")
+            for d in result.decisions:
+                print(f"  recovery[{d['mid']}]: {d['decision']} ({d['basis']})")
+            print(f"  reservations re-seeded: {result.reseeded}; "
+                  f"requests resubmitted: {result.resubmitted}")
+    print(f"  outcomes: {result.completed} completed, {result.aborted} aborted, "
+          f"{result.failed} failed; {len(result.parked_vms)} VM(s) still parked")
+    print(f"  makespan: {result.makespan_s:.1f} s")
+    rows = [[job, " ".join(hosts)] for job, hosts in sorted(result.final_hosts.items())]
+    print(render_table(["job", "now on"], rows, title="final placement"))
+    _save_trace(tracer, args.trace_out)
+    if result.parked_vms or (result.crashed and not result.recovered):
+        return 2
+    return 0 if result.aborted + result.failed == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,6 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="make the injected fault transient (absorbed by retry/backoff)",
     )
     pd.add_argument(
+        "--crash-at", choices=tuple(_CRASH_SITES),
+        help="kill the controller at this phase's journal boundary "
+             "(migration = mid-precopy)",
+    )
+    pd.add_argument(
+        "--recover", action="store_true",
+        help="after --crash-at, replay the journal and reconcile",
+    )
+    pd.add_argument(
         "--trace-out", metavar="PATH",
         help="write the simulation trace to PATH as JSON Lines",
     )
@@ -282,6 +397,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable wave sequencing + destination swaps (baseline)",
     )
     pf.add_argument("--wan-gbps", type=float, default=1.0, help="WAN pipe to the backup site")
+    pf.add_argument(
+        "--inject-site", metavar="SITE",
+        help="arm the deterministic fault injector at SITE "
+             "(e.g. ninja.migration, qmp.device_del; fnmatch patterns OK)",
+    )
+    pf.add_argument(
+        "--inject-nth", type=int, default=1,
+        help="fire on the Nth call of the injected site (default 1)",
+    )
+    pf.add_argument(
+        "--inject-transient", action="store_true",
+        help="make the injected fault transient (absorbed by retry/backoff)",
+    )
+    pf.add_argument(
+        "--crash-at-time", type=float, metavar="T",
+        help="kill the controller T seconds into the drain, then recover "
+             "(see --no-recover)",
+    )
+    pf.add_argument(
+        "--no-recover", action="store_true",
+        help="with --crash-at-time, skip recovery and report the wreckage",
+    )
     pf.add_argument(
         "--trace-out", metavar="PATH",
         help="write the simulation trace to PATH as JSON Lines",

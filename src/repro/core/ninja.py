@@ -56,6 +56,22 @@ Faults for testing are injected through the cluster-wide
 :class:`~repro.core.faults.FaultInjector` at sites ``ninja.<phase>``
 (plus the lower-level ``qmp.*`` / ``hotplug.*`` / ``migration.stream``
 sites the phases drive).
+
+Crash semantics
+---------------
+
+Every sequence writes a **write-ahead journal**
+(:class:`~repro.recovery.journal.MigrationJournal`): an ``intent`` record
+before each phase, a ``commit`` record after it, compensation-stack and
+terminal records in between.  ``controller.crash.<point>`` fault sites sit
+at each boundary *before* the corresponding record is written — an armed
+crash raises :class:`~repro.errors.ControllerCrashError` (deliberately
+not a ``ReproError``, so neither retry nor rollback runs: a dead
+controller does nothing) and sets :attr:`NinjaMigration.crashed`, which
+kills every sibling sequence of the same controller at its next
+boundary.  The journal plus observed VMM/agent state is exactly what
+:class:`~repro.recovery.recovery.RecoveryManager` needs to roll the
+sequence forward (past the commit point) or back.
 """
 
 from __future__ import annotations
@@ -68,6 +84,7 @@ from repro.core.metrics import OverheadBreakdown
 from repro.core.phases import PhaseTimeline
 from repro.core.plan import MigrationPlan
 from repro.errors import (
+    ControllerCrashError,
     MigrationAbortedError,
     MigrationBlockedError,
     MigrationError,
@@ -78,6 +95,7 @@ from repro.errors import (
     SymVirtError,
 )
 from repro.network.fabric import PortState
+from repro.recovery.journal import MigrationJournal
 from repro.symvirt.controller import Controller
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -126,6 +144,8 @@ class NinjaResult:
     #: after this point degraded (VMs stay put, dead HCAs ejected) rather
     #: than rolled back.
     committed: bool = False
+    #: Journal id of this sequence (``label@N``).
+    migration_id: str = ""
 
     @property
     def aborted(self) -> bool:
@@ -157,11 +177,19 @@ class NinjaMigration:
         cluster: "Cluster",
         retry_policy: Optional[RetryPolicy] = None,
         phase_timeout_s: Optional[Dict[str, float]] = None,
+        journal: Optional[MigrationJournal] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.phase_timeout_s: Dict[str, float] = dict(phase_timeout_s or {})
+        #: Write-ahead journal of every sequence this controller runs.
+        self.journal = (
+            journal if journal is not None else MigrationJournal()
+        ).bind(cluster.env)
+        #: Set once a ``controller.crash.*`` fault fires; every sibling
+        #: sequence of this controller dies at its next phase boundary.
+        self.crashed = False
         #: Poll interval while waiting for in-flight work to settle.
         self.settle_poll_s = 0.05
         #: Upper bound on settling before rollback gives up (a migration
@@ -172,6 +200,34 @@ class NinjaMigration:
         self.history: list[NinjaResult] = []
 
     # -- helpers -------------------------------------------------------------------
+
+    def _guard(self, label: str, point: str) -> None:
+        """Controller-liveness checkpoint at a journal boundary.
+
+        Placed *before* the boundary's journal record, so a controller
+        that dies here never writes the record — the journal can lag the
+        world (an action landed but its record did not) but never lead
+        it, which is the invariant recovery's reconciliation relies on.
+        """
+        if self.crashed:
+            raise ControllerCrashError(f"controller dead at {point} ({label})")
+        faults = self.cluster.faults
+        if not faults.specs:
+            return
+        try:
+            faults.maybe_fail(f"controller.crash.{point}")
+        except ControllerCrashError:
+            self.crashed = True
+            self.cluster.trace("ninja", "controller_crash", label=label, point=point)
+            raise
+        except ReproError as err:
+            # Any armed error at a crash site means "the controller died
+            # here" — normalise it so nothing downstream retries it.
+            self.crashed = True
+            self.cluster.trace("ninja", "controller_crash", label=label, point=point)
+            raise ControllerCrashError(
+                f"controller crashed at {point} ({label}): {err}"
+            ) from err
 
     def _settle(self, qemus):
         """Wait until no controlled VM has an in-flight migration or
@@ -251,6 +307,12 @@ class NinjaMigration:
         origin = {q.vm.name: q.node.name for q in plan.qemus}
         had_attached = {a.qemu.vm.name: a.has_attached(tag) for a in ctl.agents}
 
+        journal = self.journal
+        mid = journal.begin_sequence(
+            plan, origin=origin, had_attached=had_attached,
+            request_checkpoint=request_checkpoint,
+        )
+
         # Migration noise dilates hotplug primitives on real moves (Fig. 6).
         noise = (
             self.cluster.calibration.migration_noise_factor
@@ -282,12 +344,15 @@ class NinjaMigration:
                 if name not in stats or stats[name].status != "completed"
             }
             if pending:
-                yield from ctl.migration(
-                    plan.src_hostlist,
-                    plan.dst_hostlist,
-                    mapping=pending,
-                    results=stats,
-                )
+                # Async start + explicit barrier so a controller crash
+                # can land *mid-precopy*: the QEMU streams are their own
+                # simulation processes and run to completion with the
+                # controller dead — exactly the orphaned-state recovery
+                # must reconcile.
+                barrier = ctl.migration_async(mapping=pending, results=stats)
+                self._guard(plan.label, "migration.inflight")
+                yield barrier
+                self.cluster.trace("symvirt", "migration", mapping=pending)
 
         def attach_body():
             yield from faults.perturb("ninja.attach")
@@ -394,6 +459,7 @@ class NinjaMigration:
                 while compensations:
                     name, factory = compensations.pop()
                     rollback_actions.append(name)
+                    journal.append("rollback-action", mid=mid, action=name)
                     self.cluster.trace("ninja", "rollback_action", action=name)
                     yield from factory()
             finally:
@@ -417,6 +483,7 @@ class NinjaMigration:
                         dead.append(agent)
                 if dead:
                     rollback_actions.append("detach-dead-hca")
+                    journal.append("rollback-action", mid=mid, action="detach-dead-hca")
                     yield ctl._parallel(agent.device_detach(tag) for agent in dead)
             finally:
                 timeline.end("rollback", env.now)
@@ -466,25 +533,52 @@ class NinjaMigration:
 
                 # -- 1. coordination: quiesce + park (round A) -----------
                 compensations.append(("resume-guests", resume_guests))
+                journal.append("compensation", mid=mid, action="resume-guests")
+                self._guard(plan.label, "coordination.intent")
+                journal.append("intent", mid=mid, phase="coordination")
                 yield from run_phase("coordination", coordination_body)
+                self._guard(plan.label, "coordination.commit")
+                journal.append("commit", mid=mid, phase="coordination")
 
                 # -- 2. detach -------------------------------------------
                 compensations.append(("reattach-origin", reattach_origin))
+                journal.append("compensation", mid=mid, action="reattach-origin")
+                self._guard(plan.label, "detach.intent")
+                journal.append("intent", mid=mid, phase="detach")
                 yield from run_phase("detach", detach_body)
+                self._guard(plan.label, "detach.commit")
+                journal.append("commit", mid=mid, phase="detach")
 
                 # -- 3. round A → round B --------------------------------
+                self._guard(plan.label, "signal.intent")
                 yield from ctl.signal()
                 rounds_released[0] += 1
+                journal.append("signal", mid=mid, round=1)
+                self._guard(plan.label, "signal.commit")
                 yield from ctl.wait_all()
 
                 # -- 4. migration ----------------------------------------
                 compensations.append(("migrate-back", migrate_back))
+                journal.append("compensation", mid=mid, action="migrate-back")
+                self._guard(plan.label, "migration.intent")
+                journal.append("intent", mid=mid, phase="migration")
                 yield from run_phase("migration", migration_body)
+                self._guard(plan.label, "migration.commit")
+                journal.append("commit", mid=mid, phase="migration")
 
                 # -- 5. attach + confirm ---------------------------------
                 compensations.append(("detach-stray", detach_stray))
+                journal.append("compensation", mid=mid, action="detach-stray")
+                self._guard(plan.label, "attach.intent")
+                journal.append("intent", mid=mid, phase="attach")
                 yield from run_phase("attach", attach_body)
+                self._guard(plan.label, "attach.commit")
+                journal.append("commit", mid=mid, phase="attach")
+                self._guard(plan.label, "confirm.intent")
+                journal.append("intent", mid=mid, phase="confirm")
                 yield from run_phase("confirm", confirm_body)
+                self._guard(plan.label, "confirm.commit")
+                journal.append("commit", mid=mid, phase="confirm")
 
                 # Collect link-up events before waking the guests.
                 linkup_events = []
@@ -494,22 +588,35 @@ class NinjaMigration:
                         linkup_events.append(assignment.function.port.wait_active())
 
                 # -- 6. resume: THE COMMIT POINT -------------------------
+                # No crash site sits between the second signal and its
+                # commit-point record: the write closes the uncertainty
+                # window by construction.  (Recovery still cross-checks
+                # the observed park state, belt and braces.)
+                self._guard(plan.label, "resume.intent")
+                journal.append("intent", mid=mid, phase="resume")
                 yield from ctl.signal()
                 rounds_released[0] += 1
                 committed = True
                 compensations.clear()
+                journal.append("commit-point", mid=mid)
+                self._guard(plan.label, "commit-point.commit")
 
                 def linkup_body():
                     yield from faults.perturb("ninja.linkup")
                     if linkup_events:
                         yield env.all_of(linkup_events)
 
+                self._guard(plan.label, "linkup.intent")
+                journal.append("intent", mid=mid, phase="linkup")
                 yield from run_phase("linkup", linkup_body)
+                self._guard(plan.label, "linkup.commit")
+                journal.append("commit", mid=mid, phase="linkup")
 
                 yield from ctl.quit()
             except ReproError as err:
                 if current_phase[0] is None and not compensations:
                     # Failed before the transaction opened (trigger path).
+                    journal.append("aborted", mid=mid, phase="trigger", error=str(err))
                     raise
                 failed_phase = current_phase[0]
                 self.cluster.trace(
@@ -526,12 +633,21 @@ class NinjaMigration:
                     else:
                         yield from rollback(err)
                 except ReproError as rollback_err:
+                    journal.append(
+                        "aborted", mid=mid, phase=failed_phase or "?",
+                        committed=committed,
+                        error=f"rollback failed: {rollback_err}",
+                    )
                     raise MigrationAbortedError(
                         failed_phase or "?",
                         f"rollback failed: {rollback_err}",
                         cause=err,
                     ) from err
                 ctl.close()
+                journal.append(
+                    "aborted", mid=mid, phase=failed_phase or "?",
+                    committed=committed, error=str(err),
+                )
                 result = NinjaResult(
                     plan=plan,
                     breakdown=OverheadBreakdown.from_timeline(timeline),
@@ -545,6 +661,7 @@ class NinjaMigration:
                     retries=dict(retries),
                     rollback_actions=list(rollback_actions),
                     committed=committed,
+                    migration_id=mid,
                 )
                 self.history.append(result)
                 self.cluster.trace(
@@ -563,6 +680,7 @@ class NinjaMigration:
             for qemu in plan.qemus:
                 qemu.hotplug.noise_factor = 1.0
 
+        journal.append("complete", mid=mid)
         result = NinjaResult(
             plan=plan,
             breakdown=OverheadBreakdown.from_timeline(timeline),
@@ -571,6 +689,7 @@ class NinjaMigration:
             started_at=t0,
             finished_at=env.now,
             retries=dict(retries),
+            migration_id=mid,
         )
         self.history.append(result)
         self.cluster.trace(

@@ -125,6 +125,36 @@ class SymVirtError(ReproError):
     """SymVirt coordination failure (wait/signal mismatch, lost agent)."""
 
 
+class StaleEpochError(SymVirtError):
+    """A fenced-out controller issued a command.
+
+    Every controller carries the fencing epoch current at its creation;
+    crash recovery bumps the cluster-wide epoch before reconciling, so a
+    zombie controller that wakes up after recovery started cannot
+    double-drive QMP — its first command lands here instead.
+    """
+
+    def __init__(self, epoch: int, current: int, actor: str = "") -> None:
+        who = f"{actor}: " if actor else ""
+        super().__init__(
+            f"{who}epoch {epoch} is stale (current epoch is {current}) — "
+            f"a recovered controller has fenced this one out"
+        )
+        self.epoch = epoch
+        self.current = current
+
+
+class ControllerCrashError(Exception):
+    """The migration controller died mid-sequence (simulated crash).
+
+    Deliberately *not* a :class:`ReproError`: a crash is the one failure
+    the transactional orchestrator must NOT handle — a dead controller
+    runs no compensation, writes no journal records, and leaves the
+    cluster exactly as it was at the moment of death.  Only the
+    crash-recovery subsystem (:mod:`repro.recovery`) may observe it.
+    """
+
+
 class PhaseTimeoutError(ReproError):
     """A Ninja migration phase exceeded its per-phase timeout budget."""
 

@@ -26,6 +26,7 @@ from repro.network.infiniband import InfiniBandFabric
 from repro.network.myrinet import MyrinetFabric
 from repro.network.topology import Topology
 from repro.core.faults import FaultInjector
+from repro.symvirt.fencing import EpochRegistry
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -47,6 +48,8 @@ class Cluster:
         self.tracer = tracer if tracer is not None else Tracer()
         #: Deterministic fault injection shared by every instrumented layer.
         self.faults = FaultInjector(self.env)
+        #: Controller-generation counter (crash-recovery fencing tokens).
+        self.fencing = EpochRegistry()
         self.nodes: Dict[str, PhysicalNode] = {}
         #: IB-cabled node names.
         self.ib_cabled: set[str] = set()

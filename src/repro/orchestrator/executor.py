@@ -38,12 +38,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from repro.core.ninja import NinjaMigration
 from repro.core.plan import MigrationPlan
 from repro.errors import (
+    ControllerCrashError,
     FleetError,
     MigrationAbortedError,
     PlanError,
     ReproError,
     SchedulerError,
 )
+from repro.recovery.journal import MigrationJournal
 from repro.orchestrator.admission import (
     ABORTED,
     COMPLETED,
@@ -108,6 +110,7 @@ class FleetOrchestrator:
         config: Optional[FleetConfig] = None,
         state: Optional[FleetStateStore] = None,
         ninja: Optional[NinjaMigration] = None,
+        journal: Optional[MigrationJournal] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -119,7 +122,20 @@ class FleetOrchestrator:
             max_inflight_total=self.config.max_inflight_total,
             max_inflight_per_tenant=self.config.max_inflight_per_tenant,
         )
-        self.ninja = ninja if ninja is not None else NinjaMigration(cluster)
+        self.ninja = (
+            ninja if ninja is not None else NinjaMigration(cluster, journal=journal)
+        )
+        #: Shared write-ahead journal (``journal`` is ignored when an
+        #: explicit ``ninja`` brings its own).
+        self.journal = self.ninja.journal
+        #: Set when a ``controller.crash.*`` fault killed the control
+        #: plane: the scan loop stops, running sequences die at their
+        #: next boundary, and no graceful bookkeeping runs — recovery
+        #: (:class:`~repro.recovery.recovery.RecoveryManager`) takes over.
+        self.crashed = False
+        self.crash_error = ""
+        self.crash_event = Event(self.env)
+        self._procs: Dict[MigrationRequest, object] = {}
         self.requests: List[MigrationRequest] = []
         self._running: List[MigrationRequest] = []
         #: Links footprint of each running request (sequencing gate).
@@ -169,6 +185,11 @@ class FleetOrchestrator:
         )
         self.requests.append(request)
         self.admission.submit(request)
+        self.journal.append(
+            "request", request=request.request_id, job=job_id,
+            request_kind=kind, priority=priority,
+            dst_hosts=list(dst_hosts) if dst_hosts is not None else None,
+        )
         self.cluster.trace(
             "fleet", "submitted", request=request.request_id, job=job_id,
             kind=kind, priority=priority,
@@ -242,6 +263,8 @@ class FleetOrchestrator:
 
     def _run(self):
         while True:
+            if self.crashed:
+                return
             started = self._scan()
             if not self._running and not len(self.admission):
                 self._check_settled()
@@ -265,6 +288,8 @@ class FleetOrchestrator:
 
     def _scan(self) -> int:
         """One admission/planning/start pass; returns migrations started."""
+        if self.crashed:
+            return 0
         batch = self.admission.select(self._running)
         if not batch:
             return 0
@@ -323,13 +348,19 @@ class FleetOrchestrator:
                 self.admission.submit(request, requeue=True)
                 continue
             try:
-                self.store.claim_plan(item.plan, owner=request)
+                reservations = self.store.claim_plan(item.plan, owner=request)
             except FleetError as err:
                 request.defer_reason = "reservation"
                 request.error = str(err)
                 self.admission.stats.defer("reservation")
                 self.admission.submit(request, requeue=True)
                 continue
+            for reservation in reservations:
+                self.journal.append(
+                    "reservation", request=request.request_id,
+                    label=item.plan.label, host=reservation.host,
+                    nbytes=reservation.nbytes, hca=reservation.hca,
+                )
             self._start(request, item)
             for dlink, nbytes in item.bytes_by_link.items():
                 inflight_loads[dlink] = inflight_loads.get(dlink, 0.0) + nbytes
@@ -429,12 +460,16 @@ class FleetOrchestrator:
         self._running.append(request)
         self._running_footprint[request] = item
         self.store.begin_migration(request, item.plan)
+        self.journal.append(
+            "request-started", request=request.request_id,
+            label=item.plan.label, attempt=request.attempts,
+        )
         self.cluster.trace(
             "fleet", "started", request=request.request_id, job=request.job_id,
             label=item.plan.label, attempt=request.attempts,
             concurrency=len(self._running),
         )
-        self.env.process(
+        self._procs[request] = self.env.process(
             self._execute(request, item), name=f"fleet.{item.plan.label}"
         )
 
@@ -445,6 +480,12 @@ class FleetOrchestrator:
                 result = yield from self.ninja.execute(
                     request.fleet_job.job, plan
                 )
+            except ControllerCrashError as err:
+                # The control plane died.  No bookkeeping, no retry, no
+                # release — a dead orchestrator does nothing; recovery
+                # reconstructs the truth from the journal.
+                self._mark_crashed(str(err))
+                return
             except MigrationAbortedError as err:
                 self._finish(request, FAILED, error=f"unrecoverable: {err}")
                 return
@@ -468,19 +509,27 @@ class FleetOrchestrator:
             else:
                 self._finish(request, COMPLETED)
         finally:
-            request.fleet_job.busy = False
-            self.store.end_migration(request)
-            if request in self._running:
-                self._running.remove(request)
-            self._running_footprint.pop(request, None)
-            if request.status == RUNNING:
-                request.status = PENDING
-            self._kick()
+            self._procs.pop(request, None)
+            if not self.crashed:
+                request.fleet_job.busy = False
+                self.store.end_migration(request)
+                self.journal.append(
+                    "release", request=request.request_id, label=plan.label
+                )
+                if request in self._running:
+                    self._running.remove(request)
+                self._running_footprint.pop(request, None)
+                if request.status == RUNNING:
+                    request.status = PENDING
+                self._kick()
 
     def _finish(self, request: MigrationRequest, status: str, error: str = "") -> None:
         request.status = status
         request.error = error
         request.finished_at = self.env.now
+        self.journal.append(
+            "request-finished", request=request.request_id, status=status,
+        )
         self.cluster.trace(
             "fleet", status, request=request.request_id, job=request.job_id,
             error=error,
@@ -488,3 +537,26 @@ class FleetOrchestrator:
         if request.done is not None and not request.done.triggered:
             request.done.succeed(request)
         self._check_settled()
+
+    # -- crash handling -----------------------------------------------------------
+
+    def _mark_crashed(self, error: str) -> None:
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_error = error
+        self.cluster.trace("fleet", "controller_crash", error=error)
+        if not self.crash_event.triggered:
+            self.crash_event.succeed(self)
+
+    def crash_drained(self) -> Event:
+        """Event firing once every sequence process of the crashed
+        controller has stopped (they die at their next phase boundary;
+        their QEMU precopy streams keep running independently).  Drive
+        recovery only after this fires, or it would race the zombies."""
+        alive = [p for p in self._procs.values() if p.is_alive]
+        if not alive:
+            event = Event(self.env)
+            event.succeed(self)
+            return event
+        return self.env.all_of(alive)

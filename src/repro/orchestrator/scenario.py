@@ -25,6 +25,8 @@ from typing import Dict, List, Optional
 
 from repro.hardware.cluster import Cluster
 from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
+from repro.orchestrator.state import FleetStateStore
+from repro.recovery.recovery import RecoveryManager
 from repro.sim.trace import Tracer
 from repro.testbed import create_job, provision_vms
 from repro.units import GiB, MiB, gbps
@@ -102,35 +104,11 @@ def _busy(proc, comm):
         yield from comm.barrier()
 
 
-def run_fleet_scenario(
-    jobs: int = 8,
-    vms_per_job: int = 1,
-    sequenced: bool = True,
-    wan_gbps: float = 1.0,
-    tenants: int = 2,
-    link_budget_s: Optional[float] = 30.0,
-    seed: int = 0,
-    tracer: Optional[Tracer] = None,
-    orchestrator_out: Optional[list] = None,
-) -> FleetScenarioResult:
-    """Drain ``jobs`` MPI jobs off the IB sub-cluster through the fleet
-    orchestrator; return makespan + concurrency + deferral metrics.
-
-    ``orchestrator_out``, when given, receives the live
-    :class:`FleetOrchestrator` (for tests that want to poke at state).
-    """
-    nvms = jobs * vms_per_job
-    cluster = build_fleet_cluster(nvms, wan_gbps=wan_gbps, seed=seed, tracer=tracer)
+def _provision_fleet(cluster, jobs: int, vms_per_job: int, tenants: int):
+    """Provision + launch the scenario's MPI jobs; returns records of
+    (job_id, tenant, job, qemus, naive round-robin dst_hosts)."""
     env = cluster.env
-    config = (
-        FleetConfig(link_budget_s=link_budget_s)
-        if sequenced
-        else FleetConfig.naive()
-    )
-    orch = FleetOrchestrator(cluster, config=config)
-    if orchestrator_out is not None:
-        orchestrator_out.append(orch)
-
+    nvms = jobs * vms_per_job
     eth_names = [f"eth{i + 1:02d}" for i in range(nvms)]
     records = []
     for i in range(jobs):
@@ -145,18 +123,71 @@ def run_fleet_scenario(
         for q in qemus:
             q.vm.memory.write(0, data, PageClass.DATA)
         job.launch(_busy)
-        orch.register_job(f"j{i}", job, qemus, tenant=f"t{i % max(tenants, 1)}")
         dst_hosts = [
             eth_names[(i * vms_per_job + k) % nvms] for k in range(vms_per_job)
         ]
-        records.append((f"j{i}", qemus, dst_hosts))
+        records.append((f"j{i}", f"t{i % max(tenants, 1)}", job, qemus, dst_hosts))
+    return records
+
+
+def run_fleet_scenario(
+    jobs: int = 8,
+    vms_per_job: int = 1,
+    sequenced: bool = True,
+    wan_gbps: float = 1.0,
+    tenants: int = 2,
+    link_budget_s: Optional[float] = 30.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    orchestrator_out: Optional[list] = None,
+    inject_site: Optional[str] = None,
+    inject_nth: int = 1,
+    inject_transient: bool = False,
+    inject_times: int = 1,
+) -> FleetScenarioResult:
+    """Drain ``jobs`` MPI jobs off the IB sub-cluster through the fleet
+    orchestrator; return makespan + concurrency + deferral metrics.
+
+    ``orchestrator_out``, when given, receives the live
+    :class:`FleetOrchestrator` (for tests that want to poke at state).
+    ``inject_site`` arms the deterministic fault injector (e.g.
+    ``ninja.migration``) so fleet runs exercise the abort → blacklist →
+    retry path; ``inject_transient`` makes the fault a retryable
+    :class:`~repro.errors.QmpError` instead of a fatal one.
+    """
+    nvms = jobs * vms_per_job
+    cluster = build_fleet_cluster(nvms, wan_gbps=wan_gbps, seed=seed, tracer=tracer)
+    env = cluster.env
+    if inject_site:
+        from repro.errors import QmpError
+
+        error = (
+            QmpError("GenericError", "injected transient fault")
+            if inject_transient
+            else None  # default FaultInjectionError → abort + rollback
+        )
+        cluster.faults.arm(
+            inject_site, error=error, nth=inject_nth, times=inject_times
+        )
+    config = (
+        FleetConfig(link_budget_s=link_budget_s)
+        if sequenced
+        else FleetConfig.naive()
+    )
+    orch = FleetOrchestrator(cluster, config=config)
+    if orchestrator_out is not None:
+        orchestrator_out.append(orch)
+
+    records = _provision_fleet(cluster, jobs, vms_per_job, tenants)
+    for job_id, tenant, job, qemus, _ in records:
+        orch.register_job(job_id, job, qemus, tenant=tenant)
 
     start_at = env.now + 1.0
     requests = []
 
     def _submit_all():
         yield env.timeout(start_at - env.now)
-        for job_id, _, dst_hosts in records:
+        for job_id, _, _, _, dst_hosts in records:
             requests.append(orch.submit(job_id, kind="spread", dst_hosts=dst_hosts))
 
     env.process(_submit_all(), name="fleet.submit")
@@ -193,6 +224,174 @@ def run_fleet_scenario(
         failed=statuses.count("failed"),
         outcomes=outcomes,
         final_hosts={
-            job_id: [q.node.name for q in qemus] for job_id, qemus, _ in records
+            job_id: [q.node.name for q in qemus]
+            for job_id, _, _, qemus, _ in records
         },
     )
+
+
+@dataclass
+class FleetCrashResult:
+    """Everything ``repro fleet --crash-at-time`` prints."""
+
+    jobs: int
+    vms_per_job: int
+    crash_requested_at: float
+    crashed: bool = False
+    crash_time: Optional[float] = None
+    crash_error: str = ""
+    recovered: bool = False
+    recovery_epoch: Optional[int] = None
+    #: Per-orphaned-sequence recovery outcomes.
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+    reseeded: int = 0
+    resubmitted: int = 0
+    completed: int = 0
+    aborted: int = 0
+    failed: int = 0
+    #: VMs still parked at the end (the leak recovery must prevent).
+    parked_vms: List[str] = field(default_factory=list)
+    makespan_s: float = 0.0
+    final_hosts: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def run_fleet_crash_scenario(
+    jobs: int = 4,
+    vms_per_job: int = 1,
+    crash_at_time: float = 5.0,
+    recover: bool = True,
+    wan_gbps: float = 1.0,
+    tenants: int = 2,
+    link_budget_s: Optional[float] = 30.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> FleetCrashResult:
+    """Drain the fleet, kill the controller ``crash_at_time`` seconds
+    after the drain starts, then (optionally) run crash recovery and a
+    successor orchestrator that resumes the remaining work.
+
+    The crash is armed at every ``controller.crash.*`` site with an
+    ``at_time`` trigger: the first journal boundary any sequence reaches
+    at or after the deadline kills the whole control plane; sibling
+    sequences die at their own next boundary; orphaned precopy streams
+    keep running.  Recovery then fences the epoch, replays the journal,
+    rolls each orphan forward or back, and re-seeds reservations in a
+    fresh :class:`~repro.orchestrator.state.FleetStateStore` for the
+    successor orchestrator.
+    """
+    nvms = jobs * vms_per_job
+    cluster = build_fleet_cluster(nvms, wan_gbps=wan_gbps, seed=seed, tracer=tracer)
+    env = cluster.env
+    config = (
+        FleetConfig(link_budget_s=link_budget_s)
+        if link_budget_s is not None
+        else FleetConfig.naive()
+    )
+    orch = FleetOrchestrator(cluster, config=config)
+    records = _provision_fleet(cluster, jobs, vms_per_job, tenants)
+    for job_id, tenant, job, qemus, _ in records:
+        orch.register_job(job_id, job, qemus, tenant=tenant)
+
+    start_at = env.now + 1.0
+    cluster.faults.arm("controller.crash.*", at_time=start_at + crash_at_time)
+    requests = []
+
+    def _submit_all():
+        yield env.timeout(start_at - env.now)
+        for job_id, _, _, _, dst_hosts in records:
+            requests.append(orch.submit(job_id, kind="spread", dst_hosts=dst_hosts))
+
+    env.process(_submit_all(), name="fleet.submit")
+    env.run(until=start_at + 0.001)
+    env.run(until=env.any_of([orch.crash_event, orch.all_settled()]))
+
+    result = FleetCrashResult(
+        jobs=jobs,
+        vms_per_job=vms_per_job,
+        crash_requested_at=crash_at_time,
+        crashed=orch.crashed,
+        crash_time=round(env.now - start_at, 3) if orch.crashed else None,
+        crash_error=orch.crash_error,
+    )
+
+    all_qemus = [q for _, _, _, qemus, _ in records for q in qemus]
+
+    def _parked() -> List[str]:
+        return sorted(q.vm.name for q in all_qemus if q.vm.hypercall.parked)
+
+    def _finalise(count_requests=None) -> FleetCrashResult:
+        statuses = [
+            r.status for r in (requests if count_requests is None else count_requests)
+        ]
+        result.completed = statuses.count("completed")
+        result.aborted = statuses.count("aborted")
+        result.failed = statuses.count("failed")
+        result.parked_vms = _parked()
+        result.makespan_s = round(env.now - start_at, 3)
+        result.final_hosts = {
+            job_id: [q.node.name for q in qemus]
+            for job_id, _, _, qemus, _ in records
+        }
+        return result
+
+    if not orch.crashed or not recover:
+        # Either the drain finished before the deadline, or the operator
+        # asked to see the wreckage: report the world as-is.
+        return _finalise()
+
+    # Let the zombie sequences die at their next boundary before
+    # reconciling, then hand the journal to recovery with a *fresh*
+    # state store (the dead orchestrator's reservations died with it).
+    env.run(until=orch.crash_drained())
+    store = FleetStateStore(cluster)
+    manager = RecoveryManager(cluster, orch.journal, store=store)
+    box: List[object] = []
+
+    def _recover():
+        report = yield from manager.recover(reason=f"crash at t+{crash_at_time}s")
+        box.append(report)
+
+    done = env.process(_recover(), name="recovery")
+    env.run(until=done)
+    report = box[0]
+    result.recovered = report.clean
+    result.recovery_epoch = report.epoch
+    result.reseeded = report.reseeded
+    result.decisions = [
+        {
+            "mid": d.mid,
+            "decision": d.decision,
+            "phase_reached": d.phase_reached,
+            "basis": d.basis,
+            "actions": d.actions,
+            "parked_after": d.parked_after,
+            "error": d.error,
+        }
+        for d in report.decisions
+    ]
+
+    # Successor orchestrator: same journal, the recovery-seeded store.
+    orch2 = FleetOrchestrator(cluster, config=config, state=store, journal=orch.journal)
+    for job_id, tenant, job, qemus, _ in records:
+        orch2.register_job(job_id, job, qemus, tenant=tenant)
+    resumed = []
+    for spec in report.resubmit:
+        resumed.append(
+            orch2.submit(
+                str(spec["job"]),
+                kind=str(spec.get("kind", "fallback")),
+                priority=int(spec.get("priority", 0) or 0),
+                dst_hosts=spec.get("dst_hosts"),  # type: ignore[arg-type]
+            )
+        )
+    result.resubmitted = len(resumed)
+    if resumed:
+        env.run(until=orch2.all_settled())
+
+    # Requests the dead orchestrator never finished are superseded by
+    # the resubmissions; count outcomes over what actually terminated.
+    finished = [r for r in requests if r.terminal]
+    return _finalise(count_requests=[*finished, *resumed])

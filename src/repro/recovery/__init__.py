@@ -1,0 +1,47 @@
+"""Controller crash-recovery: journal, reconciliation, failure detection.
+
+Three pieces close the control plane's single point of failure:
+
+* :mod:`repro.recovery.journal` — the write-ahead migration journal
+  every Ninja sequence and fleet request appends to;
+* :mod:`repro.recovery.recovery` — the :class:`RecoveryManager` that
+  replays the journal after a controller crash, reconciles it against
+  observed VMM/agent/HCA state, and rolls each in-flight sequence
+  forward or back;
+* :mod:`repro.recovery.failure_detector` — phi-accrual heartbeats
+  feeding the :class:`~repro.core.fault_tolerance.HealthMonitor`, with
+  fencing epochs (:mod:`repro.symvirt.fencing`) so a superseded
+  controller cannot double-drive QMP.
+
+``RecoveryManager`` and the detector classes are loaded lazily: the
+journal must stay importable from :mod:`repro.core.ninja` without
+dragging in the scheduler stack (which imports ninja right back).
+"""
+
+from repro.recovery.journal import (
+    JournalRecord,
+    MigrationJournal,
+    MigrationSnapshot,
+)
+
+__all__ = [
+    "JournalRecord",
+    "MigrationJournal",
+    "MigrationSnapshot",
+    "RecoveryManager",
+    "RecoveryReport",
+    "HeartbeatMonitor",
+    "PhiAccrualFailureDetector",
+]
+
+
+def __getattr__(name):
+    if name in ("RecoveryManager", "RecoveryReport"):
+        from repro.recovery import recovery
+
+        return getattr(recovery, name)
+    if name in ("HeartbeatMonitor", "PhiAccrualFailureDetector"):
+        from repro.recovery import failure_detector
+
+        return getattr(failure_detector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

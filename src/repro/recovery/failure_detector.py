@@ -1,0 +1,166 @@
+"""Phi-accrual heartbeat failure detection feeding the health monitor.
+
+Controllers and agents cannot distinguish "node is slow" from "node is
+dead" with a boolean timeout — the phi-accrual detector (Hayashibara et
+al., the detector behind Cassandra/Akka) replaces the boolean with a
+*suspicion level*: ``phi(t)`` grows continuously with the time since the
+last heartbeat, scaled by the node's own observed inter-arrival history.
+Consumers pick thresholds, not timeouts:
+
+* ``phi >= warn_phi``  → the node is *suspected*: the
+  :class:`~repro.core.fault_tolerance.HealthMonitor` gets a WARNING and
+  the fleet orchestrator starts evacuating its VMs;
+* ``phi >= fail_phi``  → the node is *condemned*: FAILED is reported and
+  reactive fault tolerance (checkpoint restore) takes over.
+
+We use the exponential-interarrival variant: with mean heartbeat
+interval ``m`` and ``Δt`` since the last beat, the probability the node
+is still alive is ``exp(-Δt/m)``, giving
+
+    phi(Δt) = -log10(P_later) = (Δt / m) · log10(e)
+
+so ``phi = 8`` means "the chance this silence is benign is 1e-8".  A
+resumed heartbeat drops phi to ~0 and the monitor reports OK again —
+suspicion, unlike a tripped timeout, is reversible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.core.fault_tolerance import Health, HealthMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+
+#: log10(e): converts nats of suspicion into phi's base-10 scale.
+_LOG10_E = math.log10(math.e)
+
+
+class PhiAccrualFailureDetector:
+    """Suspicion level for one heartbeat stream."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        bootstrap_interval_s: float = 1.0,
+        min_interval_s: float = 1e-3,
+    ) -> None:
+        #: Sliding window of observed inter-arrival times.
+        self.intervals: Deque[float] = deque(maxlen=window)
+        #: Assumed mean interval until enough beats arrive.
+        self.bootstrap_interval_s = bootstrap_interval_s
+        #: Floor on the mean (guards against a burst collapsing it to 0).
+        self.min_interval_s = min_interval_s
+        self.last_beat: Optional[float] = None
+        self.beats = 0
+
+    def heartbeat(self, now: float) -> None:
+        if self.last_beat is not None:
+            self.intervals.append(max(now - self.last_beat, 0.0))
+        self.last_beat = now
+        self.beats += 1
+
+    @property
+    def mean_interval_s(self) -> float:
+        if not self.intervals:
+            return self.bootstrap_interval_s
+        return max(
+            sum(self.intervals) / len(self.intervals), self.min_interval_s
+        )
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level (0 = just heard from it)."""
+        if self.last_beat is None:
+            return 0.0  # never expected a beat yet
+        elapsed = max(now - self.last_beat, 0.0)
+        return (elapsed / self.mean_interval_s) * _LOG10_E
+
+
+class HeartbeatMonitor:
+    """Cluster-wide heartbeat collection + phi evaluation loop.
+
+    Wire-up: nodes (or their SymVirt agents) call :meth:`beat`; the
+    monitor's scan process evaluates every detector each
+    ``scan_period_s`` and pushes state *transitions* into the
+    :class:`~repro.core.fault_tolerance.HealthMonitor` — which is where
+    the fleet orchestrator's evacuation path already listens.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        health: Optional[HealthMonitor] = None,
+        warn_phi: float = 8.0,
+        fail_phi: float = 16.0,
+        scan_period_s: float = 0.5,
+        window: int = 64,
+        bootstrap_interval_s: float = 1.0,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.health = health if health is not None else HealthMonitor(cluster)
+        self.warn_phi = warn_phi
+        self.fail_phi = fail_phi
+        self.scan_period_s = scan_period_s
+        self.detectors: Dict[str, PhiAccrualFailureDetector] = {
+            name: PhiAccrualFailureDetector(
+                window=window, bootstrap_interval_s=bootstrap_interval_s
+            )
+            for name in cluster.nodes
+        }
+        #: (time, node, phi, state) transitions, for tests/diagnostics.
+        self.transitions: List[tuple] = []
+        self._proc = None
+
+    # -- input -------------------------------------------------------------------
+
+    def beat(self, node: str) -> None:
+        """Record one heartbeat from ``node``."""
+        self.detectors[node].heartbeat(self.env.now)
+
+    def emit_heartbeats(self, node: str, period_s: float, count: int = 10**9):
+        """Generator: a node's heartbeat loop (run as a process; kill the
+        process — or bound ``count`` — to simulate the node going silent)."""
+        for _ in range(count):
+            self.beat(node)
+            yield self.env.timeout(period_s)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def phi(self, node: str) -> float:
+        return self.detectors[node].phi(self.env.now)
+
+    def start(self):
+        """Spawn the scan loop; returns the process."""
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._scan_loop(), name="heartbeat.scan")
+        return self._proc
+
+    def _scan_loop(self):
+        while True:
+            yield self.env.timeout(self.scan_period_s)
+            self.scan()
+
+    def scan(self) -> None:
+        """One evaluation pass: report every state *transition*."""
+        for node, detector in self.detectors.items():
+            phi = detector.phi(self.env.now)
+            if phi >= self.fail_phi:
+                state = Health.FAILED
+            elif phi >= self.warn_phi:
+                state = Health.WARNING
+            else:
+                state = Health.OK
+            if self.health.state.get(node) is state:
+                continue
+            # Never resurrect a FAILED node automatically — an operator
+            # (or test) must clear it; flapping OK↔WARNING is fine.
+            if self.health.state.get(node) is Health.FAILED and state is not Health.FAILED:
+                continue
+            self.transitions.append((self.env.now, node, round(phi, 3), state))
+            self.health.report(
+                node, state, reason=f"heartbeat phi={phi:.1f}"
+            )

@@ -1,0 +1,435 @@
+"""Crash recovery: journal replay, reconciliation, roll-forward/roll-back.
+
+After a controller crash the cluster holds *orphaned* state: guests may
+be parked in ``symvirt_wait``, HCAs half-detached, QEMU precopy streams
+still draining, reservations booked by a dead orchestrator.  The
+:class:`RecoveryManager` turns the write-ahead journal plus the observed
+world back into a safe one:
+
+1. **Fence** — bump the cluster fencing epoch so any zombie controller
+   command is rejected (:class:`~repro.errors.StaleEpochError`) instead
+   of racing recovery's own QMP traffic.
+2. **Replay** — fold the journal into per-migration snapshots; every
+   sequence without a terminal record is recovery work.
+3. **Reconcile** — the journal may *lag* the world (records are written
+   after their guard), never lead it: recovery first waits out in-flight
+   precopy streams and hotplug primitives, finishes interrupted ejects,
+   then trusts observation over journal where they disagree (e.g. a
+   ``resume`` intent plus zero parked VMs means the commit-point signal
+   landed even if its record did not).
+4. **Decide** — per sequence: *roll-forward* past the commit point
+   (guests already run at their destinations; finish link-up, shed dead
+   HCAs), *roll-back* before it (detach stray HCAs, migrate relocated
+   VMs home, re-attach origin HCAs, release the owed SymVirt rounds).
+5. **Re-seed** — moved-but-rolling-back VMs get their *origin* capacity
+   reserved in the (fresh) :class:`~repro.orchestrator.state.FleetStateStore`
+   while they travel home, so a resumed orchestrator cannot book the
+   slot out from under them; the reservations are released once the VM
+   lands.
+
+Every action recovery takes is itself journalled (``recovery-begin`` /
+``recovery-decision`` / ``rollback-action`` / ``recovered`` /
+``recovery-complete``) — recovery of a crashed recovery replays cleanly
+because the fold is idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import FleetError, ReproError
+from repro.network.fabric import PortState
+from repro.recovery.journal import MigrationJournal, MigrationSnapshot
+from repro.symvirt.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.orchestrator.state import FleetStateStore
+    from repro.vmm.qemu import QemuProcess
+
+
+@dataclass
+class RecoveryDecision:
+    """What recovery concluded (and did) for one orphaned sequence."""
+
+    mid: str
+    label: str
+    #: "roll-forward" | "roll-back"
+    decision: str
+    #: Deepest phase whose intent was journalled.
+    phase_reached: str
+    #: Why the decision fell where it did.
+    basis: str = ""
+    actions: List[str] = field(default_factory=list)
+    #: VM name → host after recovery.
+    final_hosts: Dict[str, str] = field(default_factory=dict)
+    #: VMs still parked after recovery (must be empty).
+    parked_after: List[str] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and not self.parked_after
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one full recovery pass."""
+
+    epoch: int
+    reason: str = ""
+    decisions: List[RecoveryDecision] = field(default_factory=list)
+    #: Origin-capacity reservations created while VMs travelled home.
+    reseeded: int = 0
+    #: Fleet requests that should be resubmitted to a fresh orchestrator.
+    resubmit: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(d.ok for d in self.decisions)
+
+    @property
+    def rolled_forward(self) -> List[RecoveryDecision]:
+        return [d for d in self.decisions if d.decision == "roll-forward"]
+
+    @property
+    def rolled_back(self) -> List[RecoveryDecision]:
+        return [d for d in self.decisions if d.decision == "roll-back"]
+
+
+class RecoveryManager:
+    """Replays the journal after a controller crash and repairs the world."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        journal: MigrationJournal,
+        store: Optional["FleetStateStore"] = None,
+        park_timeout_s: float = 120.0,
+        linkup_timeout_s: float = 120.0,
+        settle_poll_s: float = 0.05,
+        settle_timeout_s: float = 3600.0,
+        settle_quiet_polls: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.journal = journal
+        self.store = store
+        #: Bound on waiting for coordinators to (re)park during rollback.
+        #: A crash before the checkpoint request means nobody will ever
+        #: park — recovery must not deadlock on a round that is not owed.
+        self.park_timeout_s = park_timeout_s
+        self.linkup_timeout_s = linkup_timeout_s
+        self.settle_poll_s = settle_poll_s
+        self.settle_timeout_s = settle_timeout_s
+        self.settle_quiet_polls = settle_quiet_polls
+
+    # -- world lookups ------------------------------------------------------------
+
+    def _qemu(self, vm_name: str) -> Optional["QemuProcess"]:
+        for node in self.cluster.nodes.values():
+            for qemu in node.vms:
+                if qemu.vm.name == vm_name:
+                    return qemu
+        return None
+
+    def _qemus(self, snap: MigrationSnapshot) -> List["QemuProcess"]:
+        qemus = []
+        for name in snap.vms:
+            qemu = self._qemu(name)
+            if qemu is None:
+                raise ReproError(f"recovery: VM {name!r} vanished from the cluster")
+            qemus.append(qemu)
+        return qemus
+
+    # -- bounded waits -------------------------------------------------------------
+
+    def _settle(self, qemus):
+        """Wait until no orphaned migration stream or hotplug primitive
+        is in flight (they are independent simulation processes and run
+        to completion with the controller dead).
+
+        "Quiet" must hold for several consecutive polls: a command the
+        dead controller issued just before dying is still on the wire for
+        one QMP round-trip and only then shows up as an active stream, so
+        a single instantaneous check would reconcile against state that
+        is about to change under us.
+        """
+        deadline = self.env.now + self.settle_timeout_s
+
+        def busy() -> bool:
+            for qemu in qemus:
+                if qemu.hotplug.active_ops:
+                    return True
+                job = qemu.current_migration
+                if job is not None and job.stats.status == "active":
+                    return True
+            return False
+
+        quiet = 0
+        while quiet < self.settle_quiet_polls:
+            if self.env.now >= deadline:
+                raise ReproError("recovery: in-flight work never settled")
+            quiet = quiet + 1 if not busy() else 0
+            yield self.env.timeout(self.settle_poll_s)
+
+    def _bounded(self, events, timeout_s: float):
+        """Wait for all ``events`` or the timeout; returns True if they
+        all fired (generator)."""
+        if not events:
+            return True
+        barrier = self.env.all_of(events)
+        clock = self.env.timeout(timeout_s)
+        yield self.env.any_of([barrier, clock])
+        return bool(barrier.triggered)
+
+    # -- the recovery pass -----------------------------------------------------------
+
+    def recover(self, reason: str = "controller crash"):
+        """Run the full pass (generator — drive from a simulation process)."""
+        epoch = self.cluster.fencing.bump(reason)
+        self.cluster.trace("recovery", "begin", epoch=epoch, reason=reason)
+        self.journal.append("recovery-begin", epoch=epoch, reason=reason)
+        report = RecoveryReport(epoch=epoch, reason=reason)
+        for snap in self.journal.unfinished():
+            decision = yield from self._recover_one(snap, report)
+            report.decisions.append(decision)
+        report.resubmit = self._resubmission_specs(report)
+        self.journal.append(
+            "recovery-complete",
+            epoch=epoch,
+            sequences=len(report.decisions),
+            rolled_forward=len(report.rolled_forward),
+            rolled_back=len(report.rolled_back),
+            clean=report.clean,
+        )
+        self.cluster.trace(
+            "recovery", "complete", epoch=epoch,
+            sequences=len(report.decisions), clean=report.clean,
+        )
+        return report
+
+    # -- per-sequence ---------------------------------------------------------------
+
+    def _decide(self, snap: MigrationSnapshot, qemus) -> tuple:
+        """(decision, basis) for one orphaned sequence.
+
+        The journal's ``commit-point`` record is authoritative when
+        present.  When absent, observation breaks the tie for the one
+        uncertain window: a journalled ``resume`` intent plus *zero*
+        parked VMs means the second signal was delivered before the
+        crash — the guests run at their destinations and yanking them
+        back would tear a running job, so recovery rolls forward.
+        """
+        if snap.committed:
+            return "roll-forward", "commit-point record"
+        if "resume" in snap.intents:
+            parked = [q.vm.name for q in qemus if q.vm.hypercall.parked]
+            if not parked:
+                return "roll-forward", "resume intent + no VM parked"
+        return "roll-back", "no commit-point record"
+
+    def _recover_one(self, snap: MigrationSnapshot, report: RecoveryReport):
+        qemus = self._qemus(snap)
+        ctl = Controller(self.cluster, qemus)  # fresh epoch: passes fencing
+        tag = snap.tag
+        yield from self._settle(qemus)
+        decision_kind, basis = self._decide(snap, qemus)
+        decision = RecoveryDecision(
+            mid=snap.mid,
+            label=snap.label,
+            decision=decision_kind,
+            phase_reached=snap.phase_reached,
+            basis=basis,
+        )
+        self.journal.append(
+            "recovery-decision", mid=snap.mid, decision=decision_kind, basis=basis,
+        )
+        self.cluster.trace(
+            "recovery", "decision", mid=snap.mid, decision=decision_kind,
+            basis=basis, phase=snap.phase_reached,
+        )
+        try:
+            if decision_kind == "roll-forward":
+                yield from self._roll_forward(snap, ctl, decision)
+            else:
+                yield from self._roll_back(snap, ctl, decision, report)
+        except ReproError as err:
+            decision.error = str(err)
+        ctl.close()
+        decision.final_hosts = {q.vm.name: q.node.name for q in qemus}
+        decision.parked_after = [
+            q.vm.name for q in qemus if q.vm.hypercall.parked
+        ]
+        self.journal.append(
+            "recovered", mid=snap.mid, decision=decision_kind,
+            actions=list(decision.actions), error=decision.error,
+        )
+        return decision
+
+    def _finish_partial_ejects(self, qemus, tag: str, decision: RecoveryDecision) -> None:
+        """A seated function with no guest driver is an interrupted
+        attach/detach; the safe terminal state is "ejected"."""
+        for qemu in qemus:
+            assignment = qemu.assignments.get(tag)
+            kernel = qemu.vm.kernel
+            if (
+                assignment is not None
+                and assignment.attached
+                and kernel is not None
+                and not kernel.has_driver(assignment.function)
+            ):
+                assignment.unseat()
+                decision.actions.append(f"finish-eject:{qemu.vm.name}")
+                self.cluster.trace(
+                    "recovery", "finish_eject", vm=qemu.vm.name, tag=tag
+                )
+
+    # -- roll-forward ----------------------------------------------------------------
+
+    def _roll_forward(self, snap: MigrationSnapshot, ctl: Controller, decision):
+        """Past the commit point: the move stands.  Finish link-up (or
+        shed HCAs whose port never trains) and close out the sequence."""
+        tag = snap.tag
+        self._finish_partial_ejects([a.qemu for a in ctl.agents], tag, decision)
+        # The crash may have landed before the second signal's record but
+        # after its delivery; if any VM is somehow still parked (crash at
+        # resume intent resolved forward by journal), deliver the resume.
+        parked = [a for a in ctl.agents if a.qemu.vm.hypercall.parked]
+        if parked:
+            yield ctl._parallel(a.signal() for a in parked)
+            decision.actions.append("deliver-resume")
+        waiting = []
+        for agent in ctl.agents:
+            name = agent.qemu.vm.name
+            if snap.attach.get(name) and agent.has_attached(tag):
+                port = agent.qemu.assignments[tag].function.port
+                if port is not None and port.state is not PortState.ACTIVE:
+                    waiting.append((agent, port))
+        if waiting:
+            trained = yield from self._bounded(
+                [port.wait_active() for _, port in waiting], self.linkup_timeout_s
+            )
+            decision.actions.append("await-linkup")
+            if not trained:
+                dead = [
+                    agent for agent, port in waiting
+                    if port.state is not PortState.ACTIVE
+                ]
+                if dead:
+                    yield ctl._parallel(a.device_detach(tag) for a in dead)
+                    decision.actions.append("detach-dead-hca")
+                    self.journal.append(
+                        "rollback-action", mid=snap.mid, action="detach-dead-hca"
+                    )
+
+    # -- roll-back -------------------------------------------------------------------
+
+    def _roll_back(self, snap: MigrationSnapshot, ctl: Controller, decision, report):
+        """Before the commit point: undo, mirroring the compensation
+        stack the dead controller would have unwound (LIFO)."""
+        tag = snap.tag
+        qemus = [a.qemu for a in ctl.agents]
+        self._finish_partial_ejects(qemus, tag, decision)
+
+        # detach-stray: HCAs this sequence attached away from home.
+        stray = [
+            a for a in ctl.agents
+            if a.has_attached(tag)
+            and a.qemu.node.name != snap.origin[a.qemu.vm.name]
+        ]
+        if stray:
+            yield ctl._parallel(a.device_detach(tag) for a in stray)
+            decision.actions.append("detach-stray")
+            self.journal.append("rollback-action", mid=snap.mid, action="detach-stray")
+
+        # migrate-back, with the origin slot re-seeded in the store so a
+        # resumed orchestrator cannot book it while the VM travels home.
+        moved = {
+            a.qemu.vm.name: snap.origin[a.qemu.vm.name]
+            for a in ctl.agents
+            if a.qemu.node.name != snap.origin[a.qemu.vm.name]
+        }
+        if moved:
+            if self.store is not None:
+                for agent in ctl.agents:
+                    name = agent.qemu.vm.name
+                    if name not in moved:
+                        continue
+                    try:
+                        self.store.reserve(
+                            moved[name],
+                            agent.qemu.vm.memory.size_bytes,
+                            owner=snap.mid,
+                        )
+                        report.reseeded += 1
+                    except FleetError as err:
+                        # The slot is contested; the migrate-back is the
+                        # physical claim and must proceed regardless.
+                        self.cluster.trace(
+                            "recovery", "reseed_failed", vm=name, error=str(err)
+                        )
+            yield from ctl.migration([], [], mapping=moved)
+            decision.actions.append("migrate-back")
+            self.journal.append("rollback-action", mid=snap.mid, action="migrate-back")
+
+        # reattach-origin: restore the pre-transaction HCA state.
+        pending = [
+            a for a in ctl.agents
+            if snap.had_attached.get(a.qemu.vm.name) and not a.has_attached(tag)
+        ]
+        if pending:
+            yield ctl._parallel(a.device_attach(host="", tag=tag) for a in pending)
+            decision.actions.append("reattach-origin")
+            self.journal.append(
+                "rollback-action", mid=snap.mid, action="reattach-origin"
+            )
+
+        # resume-guests: hand back the owed SymVirt rounds.  Bounded —
+        # a crash before round A means the coordinators may still be on
+        # their way to the park (wait for them), while a crash before
+        # the checkpoint request means they never will be (time out and
+        # owe nothing).
+        owed = max(2 - snap.signals, 0)
+        for _ in range(owed):
+            parked = yield from self._bounded(
+                [a.qemu.vm.hypercall.wait_parked() for a in ctl.agents],
+                self.park_timeout_s,
+            )
+            if not parked:
+                break
+            yield ctl._parallel(a.signal() for a in ctl.agents)
+            decision.actions.append("resume-guests")
+        if owed:
+            self.journal.append(
+                "rollback-action", mid=snap.mid, action="resume-guests"
+            )
+
+        if self.store is not None and moved:
+            self.store.release_owner(snap.mid)
+
+    # -- fleet resubmission ------------------------------------------------------------
+
+    def _resubmission_specs(self, report: RecoveryReport) -> List[Dict[str, object]]:
+        """Journalled fleet requests that still need to run.
+
+        A request whose last attempt rolled *forward* is effectively
+        completed (the VMs moved); one that rolled back — or never
+        started — is resubmitted to the successor orchestrator.
+        """
+        forward_labels = {d.label for d in report.rolled_forward}
+        specs: List[Dict[str, object]] = []
+        for state in self.journal.unfinished_requests():
+            labels = [lbl for lbl in state.get("labels", []) if lbl]
+            if labels and labels[-1] in forward_labels:
+                continue
+            specs.append(
+                {
+                    "job": state.get("job"),
+                    "kind": state.get("request_kind", "fallback"),
+                    "priority": state.get("priority", 0),
+                    "dst_hosts": state.get("dst_hosts"),
+                }
+            )
+        return specs

@@ -29,7 +29,12 @@ if TYPE_CHECKING:  # pragma: no cover
 class Controller:
     """Distributed-VMM control plane for one group of VMs."""
 
-    def __init__(self, cluster: "Cluster", vms: Sequence["QemuProcess"]) -> None:
+    def __init__(
+        self,
+        cluster: "Cluster",
+        vms: Sequence["QemuProcess"],
+        epoch: Optional[int] = None,
+    ) -> None:
         if not vms:
             raise SymVirtError("controller needs at least one VM")
         self.cluster = cluster
@@ -37,6 +42,14 @@ class Controller:
         self.vms = list(vms)
         self.agents: List[SymVirtAgent] = [SymVirtAgent(q) for q in self.vms]
         self.closed = False
+        #: Fencing epoch this controller acts at.  Captured at creation;
+        #: crash recovery bumps the cluster epoch, after which every
+        #: command from this (now stale) controller is rejected.
+        fencing = getattr(cluster, "fencing", None)
+        if epoch is not None:
+            self.epoch = epoch
+        else:
+            self.epoch = fencing.current if fencing is not None else 1
 
     # -- helpers -----------------------------------------------------------------
 
@@ -48,6 +61,9 @@ class Controller:
     def _check_open(self) -> None:
         if self.closed:
             raise SymVirtError("controller is closed")
+        fencing = getattr(self.cluster, "fencing", None)
+        if fencing is not None:
+            fencing.check(self.epoch, actor=f"controller(epoch={self.epoch})")
 
     # -- Figure 5 API (generators; drive with ``yield from``) -----------------------
 
@@ -120,18 +136,39 @@ class Controller:
             mapping = self.plan_mapping(src_hostlist, dst_hostlist)
         if results is None:
             results = {}
+        yield self.migration_async(rdma=rdma, mapping=mapping, results=results)
+        self.cluster.trace("symvirt", "migration", mapping=mapping)
+        return results
+
+    def migration_async(
+        self,
+        rdma: bool = False,
+        mapping: Optional[Dict[str, str]] = None,
+        results: Optional[Dict[str, "MigrationStats"]] = None,
+    ) -> object:
+        """Start the per-VM migrations and return the barrier event.
+
+        Unlike :meth:`migration` this does not wait: the caller yields
+        the returned barrier itself.  The transactional orchestrator uses
+        the gap to model a controller crash *mid-precopy* — the QEMU
+        streams are independent simulation processes and run to
+        completion even if the controller that launched them dies.
+        """
+        self._check_open()
+        if mapping is None:
+            raise SymVirtError("migration_async needs an explicit mapping")
+        if results is None:
+            results = {}
 
         def _one(agent: SymVirtAgent, dst_name: str):
             stats = yield from agent.migrate(self.cluster.node(dst_name), rdma=rdma)
             results[agent.qemu.vm.name] = stats
 
-        yield self._parallel(
+        return self._parallel(
             _one(agent, mapping[agent.qemu.vm.name])
             for agent in self.agents
             if agent.qemu.vm.name in mapping
         )
-        self.cluster.trace("symvirt", "migration", mapping=mapping)
-        return results
 
     def plan_mapping(
         self, src_hostlist: Sequence[str], dst_hostlist: Sequence[str]

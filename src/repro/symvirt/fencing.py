@@ -1,0 +1,43 @@
+"""Fencing epochs: generation numbers for SymVirt controllers.
+
+A controller that crashes and is succeeded by a recovery controller must
+never be allowed to keep driving QMP — in a real deployment the old
+process may merely be *paused* (GC, network partition) and wake up after
+its successor already started reconciling.  The classic defence is a
+**fencing token**: a monotonically increasing epoch number held by the
+cluster; every controller captures the epoch current at its creation and
+stamps it on each command; any command carrying an epoch older than the
+cluster's current one is rejected at the control-plane boundary with
+:class:`~repro.errors.StaleEpochError` instead of reaching a VMM.
+
+The registry is deliberately tiny — a counter plus an audit trail — so
+the whole mechanism stays observable in tests: arrange a crash, bump the
+epoch through recovery, then show the zombie's next command bouncing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import StaleEpochError
+
+
+class EpochRegistry:
+    """Cluster-wide monotone controller-generation counter."""
+
+    def __init__(self) -> None:
+        #: The current epoch; controllers created now act at this epoch.
+        self.current = 1
+        #: Audit trail of every bump: (new epoch, reason).
+        self.bumps: List[Tuple[int, str]] = []
+
+    def bump(self, reason: str = "") -> int:
+        """Open a new epoch (fencing out every earlier controller)."""
+        self.current += 1
+        self.bumps.append((self.current, reason))
+        return self.current
+
+    def check(self, epoch: int, actor: str = "") -> None:
+        """Reject a command stamped with a superseded epoch."""
+        if epoch < self.current:
+            raise StaleEpochError(epoch, self.current, actor)

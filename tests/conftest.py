@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.hardware.calibration import PAPER_CALIBRATION
 from repro.hardware.cluster import build_agc_cluster
 from repro.sim.core import Environment
+
+try:
+    from hypothesis import HealthCheck, settings as hyp_settings
+
+    # Deterministic, time-limit-free profiles: property tests must behave
+    # identically on every CI run (derandomize fixes the example stream).
+    hyp_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hyp_settings.register_profile("dev", deadline=None)
+    hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
 
 
 @pytest.fixture

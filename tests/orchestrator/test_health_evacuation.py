@@ -1,0 +1,78 @@
+"""Heartbeat loss → phi-accrual suspicion → WARNING → fleet evacuation.
+
+Satellite coverage for the full detection-to-action chain: a node that
+stops heartbeating is suspected by the :class:`HeartbeatMonitor`, the
+resulting WARNING lands in the :class:`HealthMonitor` the orchestrator
+watches, and the orchestrator evacuates the node's VMs before the node
+is condemned."""
+
+from repro.core.fault_tolerance import Health, HealthMonitor
+from repro.orchestrator.executor import FleetOrchestrator
+from repro.recovery.failure_detector import HeartbeatMonitor
+from repro.testbed import create_job, provision_vms
+from repro.units import GiB
+from tests.conftest import drive
+
+
+def _busy(proc, comm):
+    for _ in range(100_000):
+        yield proc.vm.compute(0.2, nthreads=1)
+        yield from comm.barrier()
+
+
+def _register(orch, cluster, job_id, hosts):
+    qemus = provision_vms(cluster, hosts, memory_bytes=1 * GiB)
+    job = create_job(cluster, qemus, procs_per_vm=1)
+    drive(cluster.env, job.init(), name=f"init.{job_id}")
+    job.launch(_busy)
+    orch.register_job(job_id, job, qemus)
+    return qemus
+
+
+def test_heartbeat_loss_triggers_evacuation(cluster44):
+    env = cluster44.env
+    orch = FleetOrchestrator(cluster44)
+    health = HealthMonitor(cluster44)
+    orch.watch(health)
+    monitor = HeartbeatMonitor(cluster44, health=health, warn_phi=8.0, fail_phi=16.0)
+    monitor.start()
+    qemus = _register(orch, cluster44, "j0", ["ib01"])
+
+    # ib01 beats 20 times then goes silent; everyone else stays chatty.
+    for name in cluster44.nodes:
+        count = 20 if name == "ib01" else 10**9
+        env.process(
+            monitor.emit_heartbeats(name, period_s=1.0, count=count),
+            name=f"hb.{name}",
+        )
+
+    def experiment():
+        yield env.timeout(60.0)
+        yield orch.all_settled()
+
+    drive(env, experiment(), name="exp")
+
+    evacuations = [r for r in orch.requests if r.kind == "evacuate"]
+    assert len(evacuations) == 1
+    assert evacuations[0].status == "completed"
+    assert evacuations[0].priority == orch.config.evacuation_priority
+    assert qemus[0].node.name != "ib01"
+    # The silent node was eventually condemned, and only that node moved.
+    env.run(until=env.now + 120.0)
+    assert health.state["ib01"] is Health.FAILED
+    assert all(s is Health.OK for n, s in health.state.items() if n != "ib01")
+
+
+def test_healthy_fleet_never_evacuates(cluster44):
+    env = cluster44.env
+    orch = FleetOrchestrator(cluster44)
+    health = HealthMonitor(cluster44)
+    orch.watch(health)
+    monitor = HeartbeatMonitor(cluster44, health=health)
+    monitor.start()
+    _register(orch, cluster44, "j0", ["ib01"])
+    for name in cluster44.nodes:
+        env.process(monitor.emit_heartbeats(name, period_s=1.0), name=f"hb.{name}")
+    env.run(until=90.0)
+    assert orch.requests == []
+    assert monitor.transitions == []

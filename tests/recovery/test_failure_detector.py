@@ -1,0 +1,116 @@
+"""Phi-accrual failure detection: suspicion growth, threshold
+transitions into the health monitor, and the no-resurrection rule."""
+
+import pytest
+
+from repro.core.fault_tolerance import Health, HealthMonitor
+from repro.hardware.cluster import build_agc_cluster
+from repro.recovery.failure_detector import (
+    HeartbeatMonitor,
+    PhiAccrualFailureDetector,
+)
+
+
+def test_phi_grows_with_silence():
+    det = PhiAccrualFailureDetector()
+    assert det.phi(0.0) == 0.0  # never heard from: not suspected
+    for t in (0.0, 1.0, 2.0, 3.0):
+        det.heartbeat(t)
+    assert det.mean_interval_s == pytest.approx(1.0)
+    assert det.phi(3.0) == pytest.approx(0.0)
+    quiet = [det.phi(3.0 + dt) for dt in (1.0, 5.0, 20.0, 60.0)]
+    assert quiet == sorted(quiet)  # monotone in silence
+    assert quiet[0] < 1.0 < quiet[2]  # one missed beat is benign
+
+
+def test_phi_scales_with_observed_interval():
+    """The same silence is more suspicious for a chatty node."""
+    fast, slow = PhiAccrualFailureDetector(), PhiAccrualFailureDetector()
+    for i in range(10):
+        fast.heartbeat(i * 0.1)
+        slow.heartbeat(i * 10.0)
+    assert fast.phi(0.9 + 5.0) > slow.phi(90.0 + 5.0)
+
+
+def test_heartbeat_resets_suspicion():
+    det = PhiAccrualFailureDetector()
+    for t in (0.0, 1.0, 2.0):
+        det.heartbeat(t)
+    assert det.phi(30.0) > 8.0
+    det.heartbeat(30.0)
+    assert det.phi(30.0) == pytest.approx(0.0)
+
+
+def _cluster():
+    return build_agc_cluster(ib_nodes=2, eth_nodes=2)
+
+
+def test_monitor_reports_warning_then_failed_transitions():
+    cluster = _cluster()
+    env = cluster.env
+    monitor = HeartbeatMonitor(cluster, warn_phi=8.0, fail_phi=16.0)
+    monitor.start()
+    # Every node beats for 30 s; ib01 then goes silent.
+    for name in cluster.nodes:
+        count = 30 if name == "ib01" else 10**9
+        env.process(
+            monitor.emit_heartbeats(name, period_s=1.0, count=count),
+            name=f"hb.{name}",
+        )
+    env.run(until=120.0)
+
+    states = [(node, state) for _, node, _, state in monitor.transitions]
+    assert ("ib01", Health.WARNING) in states
+    assert ("ib01", Health.FAILED) in states
+    assert states.index(("ib01", Health.WARNING)) < states.index(
+        ("ib01", Health.FAILED)
+    )
+    assert monitor.health.state["ib01"] is Health.FAILED
+    # Nodes that kept beating never left OK (no transitions reported).
+    assert all(node == "ib01" for _, node, _, state in monitor.transitions)
+    assert "ib01" not in monitor.health.healthy_nodes()
+
+
+def test_monitor_recovers_warning_but_never_failed():
+    cluster = _cluster()
+    env = cluster.env
+    monitor = HeartbeatMonitor(cluster, warn_phi=8.0, fail_phi=16.0)
+    monitor.start()
+
+    def flaky():
+        # Beat, pause long enough to cross WARNING but not FAILED, resume.
+        for t in range(10):
+            monitor.beat("ib01")
+            yield env.timeout(1.0)
+        yield env.timeout(25.0)  # phi ≈ 10.9: WARNING territory
+        for _ in range(20):
+            monitor.beat("ib01")
+            yield env.timeout(1.0)
+
+    env.process(flaky(), name="hb.flaky")
+    env.run(until=60.0)
+    states = [state for _, node, _, state in monitor.transitions if node == "ib01"]
+    assert states == [Health.WARNING, Health.OK]
+
+    # Once FAILED, a resumed heartbeat must not resurrect the node.
+    env.run(until=200.0)
+    assert monitor.health.state["ib01"] is Health.FAILED
+    monitor.beat("ib01")
+    monitor.scan()
+    assert monitor.health.state["ib01"] is Health.FAILED
+
+
+def test_monitor_feeds_existing_health_monitor():
+    cluster = _cluster()
+    health = HealthMonitor(cluster)
+    events = []
+    health.subscribe(events.append)
+    monitor = HeartbeatMonitor(cluster, health=health)
+    monitor.start()
+    env = cluster.env
+    env.process(monitor.emit_heartbeats("ib02", period_s=0.5, count=10), name="hb")
+    env.run(until=120.0)
+    assert any(
+        e.node == "ib02" and e.state is Health.FAILED and "phi=" in e.reason
+        for e in events
+    )

@@ -70,3 +70,69 @@ def test_fleet_naive_mode(capsys):
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- exit codes and crash drills ----------------------------------------------
+
+
+def test_demo_clean_run_exits_zero(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "fallback complete" in out
+
+
+def test_demo_aborted_migration_exits_one(capsys):
+    assert main(["demo", "--inject-phase", "attach"]) == 1
+    out = capsys.readouterr().out
+    assert "fallback ABORTED" in out
+
+
+def test_demo_crash_without_recover_exits_two(capsys):
+    assert main(["demo", "--crash-at", "migration"]) == 2
+    out = capsys.readouterr().out
+    assert "CONTROLLER CRASHED" in out
+    assert "cluster is wedged" in out
+
+
+def test_demo_crash_with_recover_exits_zero(capsys):
+    assert main(["demo", "--crash-at", "migration", "--recover"]) == 0
+    out = capsys.readouterr().out
+    assert "CONTROLLER CRASHED" in out
+    assert "roll-back" in out
+    assert "fencing epoch now 2" in out
+
+
+def test_demo_crash_after_commit_point_rolls_forward(capsys):
+    assert main(["demo", "--crash-at", "linkup", "--recover"]) == 0
+    out = capsys.readouterr().out
+    assert "roll-forward" in out
+
+
+def test_fleet_inject_fault_flags(capsys):
+    assert main([
+        "fleet", "--jobs", "2", "--inject-site", "ninja.attach",
+        "--inject-nth", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet drain" in out
+
+
+def test_fleet_crash_drill_exits_zero_when_recovered(capsys, tmp_path):
+    trace = tmp_path / "crash.jsonl"
+    assert main([
+        "fleet", "--jobs", "2", "--crash-at-time", "5",
+        "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "controller died" in out
+    assert "fencing epoch bumped" in out
+    assert "0 VM(s) still parked" in out
+    assert trace.exists()
+
+
+def test_fleet_crash_drill_without_recovery_exits_two(capsys):
+    assert main([
+        "fleet", "--jobs", "2", "--crash-at-time", "5", "--no-recover",
+    ]) == 2
+    out = capsys.readouterr().out
+    assert "no recovery requested" in out
