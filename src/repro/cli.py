@@ -9,10 +9,14 @@
     python -m repro fig8   [--ppv 1] [--iterations 40]
     python -m repro demo   [--inject-phase PHASE] [--inject-nth N] [--inject-transient]
                            [--crash-at PHASE] [--recover] [--trace-out PATH]
+                           [--degrade SPEC] [--degrade-link PATTERN]
+                           [--postcopy {off,fallback,always}]
     python -m repro fleet  [--jobs 8] [--vms-per-job 1] [--naive]
                            [--wan-gbps 1.0] [--inject-site SITE] [--inject-nth N]
                            [--inject-transient] [--crash-at-time T] [--no-recover]
-                           [--trace-out PATH]
+                           [--trace-out PATH] [--degrade SPEC]
+                           [--degrade-link PATTERN] [--postcopy MODE]
+                           [--viability-floor-gbps G]
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
@@ -32,6 +36,17 @@ runs the crash drill instead: the controller dies T simulated seconds
 into the drain, a recovery manager reconciles, and a successor
 orchestrator resubmits the orphaned requests.  ``--trace-out`` dumps the
 full simulation trace as JSON Lines.
+
+Degraded-path flags (both commands): ``--degrade`` schedules network
+chaos against the links matching ``--degrade-link`` — a comma-separated
+list of ``kind[=value]@t=T[+D]`` tokens, e.g.
+``--degrade "loss=0.2@t=2,drop@t=5+10"`` (packet loss from t+2, a 10 s
+outage at t+5, times relative to the migration trigger).  ``--postcopy``
+selects the migration policy: ``off`` is plain precopy, ``fallback``
+adds auto-converge throttling with postcopy escalation when precopy
+cannot converge, ``always`` switches over immediately.  The fleet's
+``--viability-floor-gbps`` defers requests whose path has degraded below
+that bottleneck bandwidth until it heals.
 """
 
 from __future__ import annotations
@@ -169,6 +184,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     cluster = repro.build_agc_cluster(ib_nodes=4, eth_nodes=4)
     env = cluster.env
 
+    chaos = None
+    if args.degrade:
+        from repro.network.degradation import chaos_from_spec
+
+        chaos = chaos_from_spec(cluster, args.degrade, link_pattern=args.degrade_link)
+        print(f"armed network chaos on {args.degrade_link!r}: {args.degrade}")
     if args.inject_phase:
         error = (
             QmpError("GenericError", "injected transient fault")
@@ -204,6 +225,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             print(f"fallback complete: {result.breakdown}")
             if result.retries:
                 print(f"  transient faults absorbed by retry: {result.retries}")
+            switchovers = cluster.tracer.count("migration", "postcopy_switchover")
+            if switchovers:
+                pauses = cluster.tracer.count("migration", "postcopy_pause")
+                recovers = cluster.tracer.count("migration", "postcopy_recover")
+                print(
+                    f"  postcopy: {switchovers} switchover(s), "
+                    f"{pauses} stream pause(s), {recovers} recover(s)"
+                )
+            kicks = cluster.tracer.count("migration", "auto_converge")
+            if kicks:
+                print(f"  auto-converge throttle kicks: {kicks}")
         print(result.timeline.render())
 
     def experiment():
@@ -215,6 +247,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         job.launch(workloads.BcastReduceLoop(iterations=6, bytes_per_node=8 * GB).rank_main)
         yield env.timeout(20.0)
         scheduler = repro.CloudScheduler(cluster)
+        if args.postcopy != "off":
+            from repro.vmm.policy import MigrationPolicy
+
+            scheduler.ninja.migration_policy = MigrationPolicy.adaptive(
+                postcopy=args.postcopy
+            )
+        if chaos is not None:
+            # Chaos clock starts with the migration trigger, so ``t=``
+            # offsets in the spec are relative to the drain itself.
+            chaos.start()
         try:
             result = yield from scheduler.run_now(
                 "demo", scheduler.plan_fallback(vms), job
@@ -262,6 +304,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     tracer = Tracer()
     if args.crash_at_time is not None:
         return _cmd_fleet_crash(args, tracer)
+    from repro.units import gbps
+
     result = run_fleet_scenario(
         jobs=args.jobs,
         vms_per_job=args.vms_per_job,
@@ -271,6 +315,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         inject_site=args.inject_site,
         inject_nth=args.inject_nth,
         inject_transient=args.inject_transient,
+        degrade_spec=args.degrade,
+        degrade_link=args.degrade_link,
+        postcopy=args.postcopy,
+        viability_floor_Bps=(
+            gbps(args.viability_floor_gbps)
+            if args.viability_floor_gbps is not None
+            else None
+        ),
     )
     mode = "naive (all at once)" if args.naive else "sequenced (waves + swaps)"
     print(f"fleet drain — {result.jobs} jobs x {result.vms_per_job} VM(s), {mode}")
@@ -387,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="write the simulation trace to PATH as JSON Lines",
     )
+    _add_degraded_path_flags(pd, default_link="*")
     pd.set_defaults(func=_cmd_demo)
 
     pf = sub.add_parser("fleet", help="fleet-wide drain through the orchestrator")
@@ -423,8 +476,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="write the simulation trace to PATH as JSON Lines",
     )
+    _add_degraded_path_flags(pf, default_link="wan:*")
+    pf.add_argument(
+        "--viability-floor-gbps", type=float, metavar="G",
+        help="defer fleet requests whose migration path bottleneck has "
+             "degraded below G Gbit/s (re-probed until it heals)",
+    )
     pf.set_defaults(func=_cmd_fleet)
     return parser
+
+
+def _add_degraded_path_flags(parser: argparse.ArgumentParser, default_link: str) -> None:
+    parser.add_argument(
+        "--degrade", metavar="SPEC",
+        help="network chaos schedule: comma-separated kind[=value]@t=T[+D] "
+             "tokens, kinds drop/bw/loss/lat "
+             "(e.g. 'loss=0.2@t=2,drop@t=5+10'; times relative to the "
+             "migration trigger)",
+    )
+    parser.add_argument(
+        "--degrade-link", metavar="PATTERN", default=default_link,
+        help=f"fnmatch pattern of link names --degrade applies to "
+             f"(default {default_link!r})",
+    )
+    parser.add_argument(
+        "--postcopy", choices=("off", "fallback", "always"), default="off",
+        help="migration policy: off = plain precopy; fallback = "
+             "auto-converge throttling, then postcopy when precopy cannot "
+             "converge; always = switch over immediately",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

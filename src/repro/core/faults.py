@@ -24,11 +24,15 @@ Site naming convention (all instrumented sites in the tree)::
     qmp.<command>                                        (per QMP command)
     hotplug.attach  hotplug.detach  hotplug.confirm      (per primitive)
     migration.stream                                     (per precopy run)
+    network.chaos                                        (per degradation event;
+                                                          see repro.network.degradation)
     controller.crash.<phase>.{intent,commit}             (controller death at a
     controller.crash.signal.{intent,commit}               journal boundary; see
     controller.crash.migration.inflight                   repro.recovery)
     controller.crash.resume.intent
     controller.crash.commit-point.commit
+    controller.crash.postcopy.{intent,commit}            (around the journal's
+                                                          postcopy-switchover record)
 
 Sites support ``fnmatch`` patterns (``qmp.*`` arms every QMP command).
 """

@@ -102,6 +102,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
     from repro.mpi.runtime import MpiJob
     from repro.vmm.migration import MigrationStats
+    from repro.vmm.policy import MigrationPolicy
 
 #: The six phases of one sequence, in execution order.
 PHASES = (
@@ -178,11 +179,15 @@ class NinjaMigration:
         retry_policy: Optional[RetryPolicy] = None,
         phase_timeout_s: Optional[Dict[str, float]] = None,
         journal: Optional[MigrationJournal] = None,
+        migration_policy: Optional["MigrationPolicy"] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.phase_timeout_s: Dict[str, float] = dict(phase_timeout_s or {})
+        #: Degraded-path escalation knobs handed to every QEMU migration
+        #: this controller starts (None = plain precopy).
+        self.migration_policy = migration_policy
         #: Write-ahead journal of every sequence this controller runs.
         self.journal = (
             journal if journal is not None else MigrationJournal()
@@ -244,7 +249,7 @@ class NinjaMigration:
                 if qemu.hotplug.active_ops:
                     return True
                 job = qemu.current_migration
-                if job is not None and job.stats.status == "active":
+                if job is not None and job.stats.in_flight:
                     return True
             return False
 
@@ -298,6 +303,9 @@ class NinjaMigration:
         current_phase: List[Optional[str]] = [None]
         #: SymVirt rounds already released via ``signal`` (of the two owed).
         rounds_released = [0]
+        #: VMs that crossed the postcopy switchover — per-VM points of no
+        #: return (their only runnable image is on the destination).
+        postcopy_switched: set[str] = set()
         #: LIFO compensation stack: (action name, generator factory).
         compensations: List[tuple] = []
         rollback_actions: List[str] = []
@@ -349,10 +357,30 @@ class NinjaMigration:
                 # simulation processes and run to completion with the
                 # controller dead — exactly the orphaned-state recovery
                 # must reconcile.
-                barrier = ctl.migration_async(mapping=pending, results=stats)
+                barrier = ctl.migration_async(
+                    mapping=pending, results=stats, policy=self.migration_policy
+                )
                 self._guard(plan.label, "migration.inflight")
                 yield barrier
                 self.cluster.trace("symvirt", "migration", mapping=pending)
+            # Postcopy switchovers are per-VM commit points: once a VM's
+            # execution moved, the origin holds no runnable image and the
+            # move can never be compensated.  Journal them so recovery
+            # rolls these VMs *forward* even before the sequence-level
+            # commit point.  The crash guard sits before the record — a
+            # controller dying here leaves the switchover observable in
+            # the world but absent from the journal (journal lags world),
+            # and recovery's roll-back path handles the completed drain.
+            switched = sorted(
+                name
+                for name, vm_stats in stats.items()
+                if vm_stats.mode == "postcopy" and name not in postcopy_switched
+            )
+            if switched:
+                self._guard(plan.label, "postcopy.intent")
+                journal.append("postcopy-switchover", mid=mid, vms=switched)
+                postcopy_switched.update(switched)
+                self._guard(plan.label, "postcopy.commit")
 
         def attach_body():
             yield from faults.perturb("ninja.attach")
@@ -416,11 +444,17 @@ class NinjaMigration:
                 yield ctl._parallel(agent.device_detach(tag) for agent in stray)
 
         def migrate_back():
-            """Return every relocated VM to its origin host."""
+            """Return every relocated VM to its origin host.
+
+            VMs that crossed the postcopy switchover stay put: their
+            journalled per-VM commit point makes the move irreversible,
+            so rollback leaves them on the destination.
+            """
             back = {
                 agent.qemu.vm.name: origin[agent.qemu.vm.name]
                 for agent in ctl.agents
                 if agent.qemu.node.name != origin[agent.qemu.vm.name]
+                and agent.qemu.vm.name not in postcopy_switched
             }
             if back:
                 yield from ctl.migration(

@@ -105,7 +105,9 @@ class MemoryWriter(GuestProcess):
         yield self.vm.run_gate.passage()
         chunk = min(self.chunk_bytes, self.array_bytes - self._cursor)
         self.vm.memory.write(self.offset_bytes + self._cursor, chunk, self.page_class)
-        yield self.env.timeout(chunk / self.write_Bps)
+        # Auto-converge throttling slows the dirtying loop proportionally —
+        # the feedback that lets a throttled precopy converge.
+        yield self.env.timeout(chunk / (self.write_Bps * self.vm.cpu_share))
         self._cursor += chunk
         if self._cursor >= self.array_bytes:
             self._cursor = 0
@@ -123,7 +125,7 @@ class MemoryWriter(GuestProcess):
             yield self.vm.run_gate.passage()
             chunk = min(self.chunk_bytes, self.array_bytes - self._cursor)
             self.vm.memory.write(self.offset_bytes + self._cursor, chunk, self.page_class)
-            dt = chunk / self.write_Bps
+            dt = chunk / (self.write_Bps * self.vm.cpu_share)
             yield self.env.timeout(dt)
             active += dt
             self._cursor += chunk

@@ -1,0 +1,236 @@
+"""Deterministic network chaos: degrade links mid-migration.
+
+The paper's WAN experiments assume a clean, constant-bandwidth pipe; real
+wide-area links sag, drop packets, and occasionally go dark.  This module
+perturbs :class:`~repro.network.links.Link` objects on a schedule:
+
+* ``bw``   — bandwidth collapse (capacity × factor),
+* ``loss`` — packet loss, mapped to a goodput reduction via the
+  deterministic TCP-flavoured model in :func:`repro.network.links.loss_goodput_factor`,
+* ``lat``  — additive latency spike,
+* ``drop`` — scheduled outage: the link goes down, every in-flight flow
+  crossing it fails with :class:`~repro.errors.LinkDownError`, and the link
+  comes back after the event's duration.
+
+Events are applied by a simulation process, so everything is reproducible
+from the cluster seed; the ``network.chaos`` fault-injection site lets the
+:class:`~repro.core.faults.FaultInjector` veto or perturb individual events
+in tests.  Each applied event is traced under the ``chaos`` category.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.network.links import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.network.fabric import Fabric
+
+KINDS = ("drop", "bw", "loss", "lat")
+
+#: Outage duration when a ``drop`` event gives none (seconds).
+DEFAULT_DROP_DURATION_S = 10.0
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One scheduled perturbation.
+
+    ``at_time`` is relative to :meth:`NetworkChaos.start`.  ``duration_s``
+    of ``None`` means the degradation persists (except ``drop``, which
+    defaults to :data:`DEFAULT_DROP_DURATION_S` so the fabric heals).
+    """
+
+    at_time: float
+    kind: str  # one of KINDS
+    value: float = 0.0  # loss rate, bandwidth factor, or latency seconds
+    duration_s: Optional[float] = None
+    link_pattern: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise NetworkError(f"unknown degradation kind {self.kind!r}")
+        if self.at_time < 0:
+            raise NetworkError("degradation event scheduled before t=0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise NetworkError("degradation duration must be positive")
+
+
+@dataclass
+class NetworkChaos:
+    """Applies a :class:`DegradationEvent` schedule to one fabric's links."""
+
+    cluster: "Cluster"
+    events: Sequence[DegradationEvent] = ()
+    fabric: Optional["Fabric"] = None
+    #: Links that matched at least one applied event (for cleanup/asserts).
+    touched: List[Link] = field(default_factory=list)
+    applied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fabric is None:
+            self.fabric = self.cluster.eth_fabric
+        if self.fabric is None:
+            raise NetworkError("NetworkChaos needs a wired fabric")
+        self.events = sorted(self.events, key=lambda e: e.at_time)
+
+    # -- schedule ----------------------------------------------------------------
+
+    def start(self):
+        """Spawn the chaos process; event times are relative to *now*."""
+        return self.cluster.env.process(self._run(), name="network.chaos")
+
+    def _run(self):
+        env = self.cluster.env
+        t0 = env.now
+        for event in self.events:
+            delay = t0 + event.at_time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            yield from self.cluster.faults.perturb("network.chaos")
+            self.apply(event)
+            if event.duration_s is not None or event.kind == "drop":
+                duration = (
+                    event.duration_s
+                    if event.duration_s is not None
+                    else DEFAULT_DROP_DURATION_S
+                )
+                yield env.timeout(duration)
+                self.revert(event)
+
+    # -- application -------------------------------------------------------------
+
+    def _match(self, pattern: str) -> List[Link]:
+        links = [
+            link
+            for link in self.fabric.topology.links()
+            if fnmatch.fnmatch(link.name, pattern)
+        ]
+        if not links:
+            raise NetworkError(
+                f"degradation pattern {pattern!r} matches no link on "
+                f"fabric {self.fabric.name!r}"
+            )
+        return links
+
+    def apply(self, event: DegradationEvent) -> List[Link]:
+        """Apply one event immediately; returns the links it hit."""
+        links = self._match(event.link_pattern)
+        for link in links:
+            if event.kind == "drop":
+                link.fail()
+                self.fabric.topology.invalidate_routes()
+                killed = self.fabric.flows.fail_flows_on(link)
+                self._trace("drop", link, killed_flows=killed)
+            elif event.kind == "bw":
+                link.set_degradation(bandwidth_factor=event.value)
+                self._trace("bw", link, factor=event.value)
+            elif event.kind == "loss":
+                link.set_degradation(loss=event.value)
+                self._trace("loss", link, loss=event.value)
+            else:  # lat
+                link.set_degradation(extra_latency_s=event.value)
+                self._trace("lat", link, extra_s=event.value)
+            if link not in self.touched:
+                self.touched.append(link)
+        if event.kind != "drop":
+            self.fabric.flows.recompute()
+        self.applied += 1
+        return links
+
+    def revert(self, event: DegradationEvent) -> None:
+        """Undo one event (restore the link / clear its degradation)."""
+        for link in self._match(event.link_pattern):
+            if event.kind == "drop":
+                link.restore()
+                self.fabric.topology.invalidate_routes()
+                self._trace("restore", link)
+            else:
+                link.clear_degradation()
+                self._trace("clear", link)
+        self.fabric.flows.recompute()
+
+    def _trace(self, action: str, link: Link, **fields) -> None:
+        self.cluster.trace(
+            "chaos",
+            action,
+            link=link.name,
+            capacity_Bps=link.capacity_Bps,
+            **fields,
+        )
+
+
+def parse_degrade_spec(
+    spec: str, link_pattern: str = "*"
+) -> List[DegradationEvent]:
+    """Parse a CLI ``--degrade`` schedule into events.
+
+    Grammar (comma-separated tokens)::
+
+        drop@t=5          outage at t=5 (default 10 s)
+        drop@t=5+2        outage at t=5 lasting 2 s
+        loss=0.2@t=2      20 % packet loss from t=2 onward
+        bw=0.1@t=3+30     bandwidth collapse to 10 % for 30 s
+        lat=0.05@t=1      +50 ms latency from t=1 onward
+
+    Times are relative to :meth:`NetworkChaos.start`.
+    """
+    events: List[DegradationEvent] = []
+    for token in filter(None, (t.strip() for t in spec.split(","))):
+        try:
+            head, at_part = token.split("@", 1)
+            if not at_part.startswith("t="):
+                raise ValueError("expected @t=<time>")
+            time_part = at_part[2:]
+            duration: Optional[float] = None
+            if "+" in time_part:
+                time_str, dur_str = time_part.split("+", 1)
+                duration = float(dur_str)
+            else:
+                time_str = time_part
+            at_time = float(time_str)
+            if "=" in head:
+                kind, value_str = head.split("=", 1)
+                value = float(value_str)
+            else:
+                kind, value = head, 0.0
+        except ValueError as err:
+            raise NetworkError(f"bad --degrade token {token!r}: {err}") from err
+        events.append(
+            DegradationEvent(
+                at_time=at_time,
+                kind=kind,
+                value=value,
+                duration_s=duration,
+                link_pattern=link_pattern,
+            )
+        )
+    return events
+
+
+def chaos_from_spec(
+    cluster: "Cluster",
+    spec: str,
+    link_pattern: str = "*",
+    fabric: Optional["Fabric"] = None,
+) -> NetworkChaos:
+    """Build a :class:`NetworkChaos` from a CLI spec string."""
+    return NetworkChaos(
+        cluster=cluster,
+        events=parse_degrade_spec(spec, link_pattern=link_pattern),
+        fabric=fabric,
+    )
+
+
+__all__ = [
+    "DegradationEvent",
+    "NetworkChaos",
+    "parse_degrade_spec",
+    "chaos_from_spec",
+    "DEFAULT_DROP_DURATION_S",
+]

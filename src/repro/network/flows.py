@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.errors import NetworkError, SimulationError
-from repro.network.links import DirectedLink
+from repro.errors import LinkDownError, NetworkError, SimulationError
+from repro.network.links import DirectedLink, Link
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -173,6 +173,41 @@ class FlowNetwork:
             self._advance_progress()
             flow.cap_Bps = float(cap_Bps)
             self._reschedule()
+
+    def recompute(self) -> None:
+        """Re-solve rates after an external capacity change (degradation).
+
+        Links are mutable; the flow engine only re-solves when its own flow
+        set changes.  Chaos injection that rewrites ``link.capacity_Bps``
+        mid-transfer must call this to credit progress at the old rates and
+        reschedule at the new ones.
+        """
+        self._advance_progress()
+        self._reschedule()
+
+    def fail_flows_on(self, link: Link) -> int:
+        """Fail every in-flight flow whose path crosses ``link``.
+
+        Flows only check link state at start; a mid-stream outage must
+        actively kill them.  Each victim's ``done`` event fails with
+        :class:`LinkDownError`.  Returns the number of flows killed.
+        """
+        self._advance_progress()
+        victims = [
+            flow
+            for flow in self._flows
+            if any(dlink.link is link for dlink in flow.path)
+        ]
+        for flow in victims:
+            self._flows.remove(flow)
+            flow.done.fail(
+                LinkDownError(
+                    f"{self.name}: link {link.name} dropped mid-transfer"
+                    f" ({flow.label or 'flow'}: {flow.transferred:.0f}/{flow.nbytes:.0f} B)"
+                )
+            )
+        self._reschedule()
+        return len(victims)
 
     # -- internals --------------------------------------------------------------
 

@@ -62,6 +62,11 @@ class Topology:
             return list(self.graph.nodes)
         return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == kind]
 
+    def links(self) -> list[Link]:
+        """Every link in the graph (stable order: by link id)."""
+        found = {d["link"] for _, _, d in self.graph.edges(data=True)}
+        return sorted(found, key=lambda link: link.link_id)
+
     def link_between(self, a: str, b: str) -> Link:
         """The link directly joining ``a`` and ``b``."""
         try:

@@ -41,6 +41,7 @@ from repro.errors import (
     ControllerCrashError,
     FleetError,
     MigrationAbortedError,
+    NetworkError,
     PlanError,
     ReproError,
     SchedulerError,
@@ -88,6 +89,16 @@ class FleetConfig:
     max_attempts: int = 3
     #: Priority assigned to health-driven evacuations.
     evacuation_priority: int = 100
+    #: Minimum bottleneck bandwidth (bytes/s) a migration path must offer
+    #: before a request is started.  Requests whose links have degraded
+    #: below the floor (chaos, outages) are deferred — re-planned or
+    #: re-queued until the path heals or ``degraded_max_wait_s`` elapses.
+    #: ``None`` disables the gate.
+    viability_floor_Bps: Optional[float] = None
+    #: How often to re-probe degraded paths while nothing else can run.
+    degraded_recheck_s: float = 5.0
+    #: Give up on a degraded path after waiting this long in total.
+    degraded_max_wait_s: float = 600.0
 
     @classmethod
     def naive(cls) -> "FleetConfig":
@@ -262,14 +273,33 @@ class FleetOrchestrator:
             self._wake.succeed(None)
 
     def _run(self):
+        degraded_wait = 0.0
         while True:
             if self.crashed:
                 return
             started = self._scan()
+            if started:
+                degraded_wait = 0.0
             if not self._running and not len(self.admission):
                 self._check_settled()
                 return  # drained; a new submit restarts the loop
             if started == 0 and not self._running and len(self.admission):
+                degraded = [
+                    r for r in self.admission.pending
+                    if r.defer_reason == "degraded-link"
+                ]
+                if degraded and degraded_wait < self.config.degraded_max_wait_s:
+                    # Degraded links heal (outages end, chaos schedules
+                    # expire): keep re-probing instead of failing the
+                    # requests outright.
+                    degraded_wait += self.config.degraded_recheck_s
+                    self.cluster.trace(
+                        "fleet", "degraded_wait",
+                        pending=len(degraded),
+                        waited_s=round(degraded_wait, 1),
+                    )
+                    yield self.env.timeout(self.config.degraded_recheck_s)
+                    continue
                 # Nothing runs, nothing could start, and no completion
                 # will ever wake us: the queued requests are infeasible.
                 self._fail_stuck_requests()
@@ -304,6 +334,11 @@ class FleetOrchestrator:
                 request.defer_reason = "no-placement"
                 request.error = str(err)
                 self.admission.stats.defer("no-placement")
+                self.admission.submit(request, requeue=True)
+                continue
+            if self._below_viability(plan):
+                request.defer_reason = "degraded-link"
+                self.admission.stats.defer("degraded-link")
                 self.admission.submit(request, requeue=True)
                 continue
             item = PlannedMigration(plan).refresh(self.cluster)
@@ -377,6 +412,27 @@ class FleetOrchestrator:
             for dlink, nbytes in item.bytes_by_link.items():
                 loads[dlink] = loads.get(dlink, 0.0) + nbytes
         return loads
+
+    def _below_viability(self, plan: MigrationPlan) -> bool:
+        """True when any migration path's bottleneck sits below the
+        viability floor — starting now would crawl through a degraded
+        link (or abort outright on a down one)."""
+        floor = self.config.viability_floor_Bps
+        if floor is None or self.cluster.eth_fabric is None:
+            return False
+        topology = self.cluster.eth_fabric.topology
+        for entry in plan.entries:
+            if entry.is_self_migration:
+                continue
+            try:
+                bottleneck = topology.bottleneck_Bps(
+                    entry.qemu.node.name, entry.dst_host
+                )
+            except NetworkError:
+                return True  # no route at all (link down mid-outage)
+            if bottleneck < floor:
+                return True
+        return False
 
     def _over_budget(self, item: PlannedMigration, loads: Dict[object, float]) -> bool:
         budget_s = self.config.link_budget_s

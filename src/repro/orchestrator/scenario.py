@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.hardware.cluster import Cluster
+from repro.network.degradation import chaos_from_spec
 from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
 from repro.orchestrator.state import FleetStateStore
 from repro.recovery.recovery import RecoveryManager
@@ -31,6 +32,7 @@ from repro.sim.trace import Tracer
 from repro.testbed import create_job, provision_vms
 from repro.units import GiB, MiB, gbps
 from repro.vmm.guest_memory import PageClass
+from repro.vmm.policy import MigrationPolicy
 
 #: Guest-RAM size for fleet-scenario VMs (smaller than the paper's
 #: 20 GiB so destination hosts can absorb several).
@@ -144,6 +146,10 @@ def run_fleet_scenario(
     inject_nth: int = 1,
     inject_transient: bool = False,
     inject_times: int = 1,
+    degrade_spec: Optional[str] = None,
+    degrade_link: str = "wan:*",
+    postcopy: str = "off",
+    viability_floor_Bps: Optional[float] = None,
 ) -> FleetScenarioResult:
     """Drain ``jobs`` MPI jobs off the IB sub-cluster through the fleet
     orchestrator; return makespan + concurrency + deferral metrics.
@@ -154,6 +160,14 @@ def run_fleet_scenario(
     ``ninja.migration``) so fleet runs exercise the abort → blacklist →
     retry path; ``inject_transient`` makes the fault a retryable
     :class:`~repro.errors.QmpError` instead of a fatal one.
+
+    Degraded-path knobs: ``degrade_spec`` is a
+    :func:`~repro.network.degradation.parse_degrade_spec` schedule that
+    starts (against links matching ``degrade_link``, default the WAN
+    pipe) the moment the drain begins; ``postcopy`` feeds an adaptive
+    :class:`~repro.vmm.policy.MigrationPolicy` to every Ninja sequence;
+    ``viability_floor_Bps`` makes the orchestrator defer requests whose
+    migration path has degraded below that bottleneck bandwidth.
     """
     nvms = jobs * vms_per_job
     cluster = build_fleet_cluster(nvms, wan_gbps=wan_gbps, seed=seed, tracer=tracer)
@@ -174,7 +188,16 @@ def run_fleet_scenario(
         if sequenced
         else FleetConfig.naive()
     )
+    if viability_floor_Bps is not None:
+        config.viability_floor_Bps = viability_floor_Bps
     orch = FleetOrchestrator(cluster, config=config)
+    if postcopy != "off":
+        orch.ninja.migration_policy = MigrationPolicy.adaptive(postcopy=postcopy)
+    chaos = (
+        chaos_from_spec(cluster, degrade_spec, link_pattern=degrade_link)
+        if degrade_spec
+        else None
+    )
     if orchestrator_out is not None:
         orchestrator_out.append(orch)
 
@@ -187,6 +210,10 @@ def run_fleet_scenario(
 
     def _submit_all():
         yield env.timeout(start_at - env.now)
+        # Chaos clock starts with the drain, so ``t=`` offsets in the
+        # spec are relative to the first submission.
+        if chaos is not None:
+            chaos.start()
         for job_id, _, _, _, dst_hosts in records:
             requests.append(orch.submit(job_id, kind="spread", dst_hosts=dst_hosts))
 

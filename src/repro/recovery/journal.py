@@ -24,6 +24,12 @@ Record kinds
 ``commit-point``
     The second signal landed: guests run at their destinations.  This is
     the roll-forward/roll-back watershed.
+``postcopy-switchover``
+    One or more VMs flipped execution to the destination with RAM still
+    in flight (``vms`` field).  A *per-VM* commit point that precedes the
+    sequence-level one: the origin no longer holds a runnable image, so
+    recovery rolls these VMs forward and rollback never migrates them
+    back.
 ``compensation``
     An undo action was pushed onto the compensation stack (``action``).
 ``rollback-action``
@@ -132,6 +138,8 @@ class MigrationSnapshot:
     signals: int = 0
     #: True once the ``commit-point`` record exists.
     committed: bool = False
+    #: VMs with a journalled postcopy switchover (per-VM commit points).
+    postcopy_vms: List[str] = field(default_factory=list)
     #: Compensation-stack actions, in push order.
     compensations: List[str] = field(default_factory=list)
     rollback_actions: List[str] = field(default_factory=list)
@@ -171,6 +179,10 @@ class MigrationSnapshot:
         elif kind == "commit-point":
             self.committed = True
             self.signals = max(self.signals, 2)
+        elif kind == "postcopy-switchover":
+            for vm in record.payload.get("vms", []):
+                if vm not in self.postcopy_vms:
+                    self.postcopy_vms.append(str(vm))
         elif kind == "compensation":
             self.compensations.append(str(record.payload.get("action", "")))
         elif kind == "rollback-action":

@@ -163,7 +163,7 @@ class RecoveryManager:
                 if qemu.hotplug.active_ops:
                     return True
                 job = qemu.current_migration
-                if job is not None and job.stats.status == "active":
+                if job is not None and job.stats.in_flight:
                     return True
             return False
 
@@ -224,6 +224,11 @@ class RecoveryManager:
         """
         if snap.committed:
             return "roll-forward", "commit-point record"
+        if snap.postcopy_vms:
+            # A postcopy switchover is a per-VM point of no return: the
+            # origin holds no runnable image, so the move must stand even
+            # though the sequence-level commit point was never reached.
+            return "roll-forward", "postcopy-switchover record"
         if "resume" in snap.intents:
             parked = [q.vm.name for q in qemus if q.vm.hypercall.parked]
             if not parked:
@@ -346,10 +351,13 @@ class RecoveryManager:
 
         # migrate-back, with the origin slot re-seeded in the store so a
         # resumed orchestrator cannot book it while the VM travels home.
+        # Defensive: VMs with a journalled postcopy switchover never
+        # travel home even when the rest of the sequence rolls back.
         moved = {
             a.qemu.vm.name: snap.origin[a.qemu.vm.name]
             for a in ctl.agents
             if a.qemu.node.name != snap.origin[a.qemu.vm.name]
+            and a.qemu.vm.name not in snap.postcopy_vms
         }
         if moved:
             if self.store is not None:

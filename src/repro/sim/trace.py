@@ -93,6 +93,20 @@ class Tracer:
         """
         return sum(1 for _ in self.select(category, event))
 
+    def series(self, category: str, event: str, field: str) -> list:
+        """Ordered values of one field across matching records.
+
+        Convenience for per-round migration telemetry, e.g.
+        ``tracer.series("migration", "round", "wire_bytes")`` or
+        ``tracer.series("migration", "auto_converge", "throttle")`` —
+        the raw material of the degraded-WAN figures.
+        """
+        return [
+            record.fields[field]
+            for record in self.select(category, event)
+            if field in record.fields
+        ]
+
     def span(self, category: str, start_event: str, end_event: str) -> Optional[float]:
         """Duration between the first ``start_event`` and first ``end_event``."""
         start = self.first(category, start_event)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import QmpError, SymVirtError
+from repro.errors import SymVirtError
 from repro.hardware.pci import PciAddress
 from repro.vmm.qmp import QmpClient
 
@@ -86,11 +86,11 @@ class SymVirtAgent:
 
     # -- migration --------------------------------------------------------------------
 
-    def migrate(self, dst_node: "PhysicalNode", rdma: bool = False):
+    def migrate(self, dst_node: "PhysicalNode", rdma: bool = False, policy=None):
         """QMP ``migrate`` and poll ``query-migrate`` until completion."""
         scheme = "rdma" if rdma else "tcp"
         result = yield from self.qmp.execute(
-            "migrate", uri=f"{scheme}:{dst_node.name}:4444", rdma=rdma
+            "migrate", uri=f"{scheme}:{dst_node.name}:4444", rdma=rdma, policy=policy
         )
         job = result["job"]
         yield job.done

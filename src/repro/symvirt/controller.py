@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
     from repro.vmm.qemu import QemuProcess
     from repro.vmm.migration import MigrationStats
+    from repro.vmm.policy import MigrationPolicy
 
 
 class Controller:
@@ -117,6 +118,7 @@ class Controller:
         rdma: bool = False,
         mapping: Optional[Dict[str, str]] = None,
         results: Optional[Dict[str, "MigrationStats"]] = None,
+        policy: Optional["MigrationPolicy"] = None,
     ):
         """Migrate every VM per the src→dst hostlist mapping (in parallel).
 
@@ -136,7 +138,7 @@ class Controller:
             mapping = self.plan_mapping(src_hostlist, dst_hostlist)
         if results is None:
             results = {}
-        yield self.migration_async(rdma=rdma, mapping=mapping, results=results)
+        yield self.migration_async(rdma=rdma, mapping=mapping, results=results, policy=policy)
         self.cluster.trace("symvirt", "migration", mapping=mapping)
         return results
 
@@ -145,6 +147,7 @@ class Controller:
         rdma: bool = False,
         mapping: Optional[Dict[str, str]] = None,
         results: Optional[Dict[str, "MigrationStats"]] = None,
+        policy: Optional["MigrationPolicy"] = None,
     ) -> object:
         """Start the per-VM migrations and return the barrier event.
 
@@ -161,7 +164,9 @@ class Controller:
             results = {}
 
         def _one(agent: SymVirtAgent, dst_name: str):
-            stats = yield from agent.migrate(self.cluster.node(dst_name), rdma=rdma)
+            stats = yield from agent.migrate(
+                self.cluster.node(dst_name), rdma=rdma, policy=policy
+            )
             results[agent.qemu.vm.name] = stats
 
         return self._parallel(

@@ -1,4 +1,4 @@
-"""QEMU precopy live migration with the paper's performance characteristics.
+"""QEMU live migration with the paper's performance characteristics.
 
 Model highlights (each anchored in the paper — see
 :mod:`repro.hardware.calibration`):
@@ -15,6 +15,22 @@ Model highlights (each anchored in the paper — see
   (:class:`~repro.errors.MigrationBlockedError`) — the constraint the
   whole paper exists to lift.
 
+Degraded-path extensions (all gated on :class:`~repro.vmm.policy.MigrationPolicy`;
+the default policy reproduces plain precopy exactly):
+
+* **non-convergence detection** — the estimated stop-and-copy downtime is
+  tracked per round; when it stops shrinking the policy escalates;
+* **auto-converge** — QEMU-style vCPU throttling (initial 20 %, +10 % per
+  kick, capped) written to ``vm.cpu_throttle``, which feeds back into the
+  guest's dirtying rate via the run-gate'd workload primitives;
+* **postcopy** — switch the VM to the destination first, then pull the
+  pages the *received-page bitmap* says are still missing.  A dropped
+  stream pauses the drain (``postcopy-paused``) and recovers from the
+  bitmap instead of restarting — QEMU's ``migrate-pause``/``migrate-recover``.
+  After the switchover the origin no longer has a runnable VM: exhausting
+  recovery *loses* the VM (left PAUSED on the destination), which is why
+  postcopy is an explicit opt-in.
+
 An optional RDMA transport (Section V's proposed optimization) removes the
 CPU cap and uses the IB fabric; it is exercised by the ablation benchmark.
 """
@@ -26,13 +42,22 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.errors import MigrationBlockedError, MigrationError
+from repro.errors import MigrationBlockedError, MigrationError, NetworkError
 from repro.sim.events import Event
+from repro.units import MiB
+from repro.vmm.policy import MigrationPolicy
 from repro.vmm.vm import RunState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.node import PhysicalNode
     from repro.vmm.qemu import QemuProcess
+
+#: Page-pull granularity of the postcopy drain (QEMU services faults
+#: per-page; the background drain streams in large chunks).
+POSTCOPY_CHUNK_BYTES = 128 * MiB
+
+#: Statuses that mean "a migration thread still owns this VM".
+IN_FLIGHT_STATUSES = ("active", "postcopy-active", "postcopy-paused")
 
 
 @dataclass
@@ -46,13 +71,17 @@ class RoundStats:
     wire_bytes: float
     duration_s: float
     start_time: float
+    #: Guest vCPU throttle in effect while this round ran.
+    throttle: float = 0.0
+    #: Estimated stop-and-copy downtime after this round (0 = converged).
+    est_downtime_s: float = 0.0
 
 
 @dataclass
 class MigrationStats:
     """Aggregate migration outcome (query-migrate's ``ram`` section)."""
 
-    status: str = "none"  # none|active|completed|failed
+    status: str = "none"  # none|active|postcopy-active|postcopy-paused|completed|failed
     rounds: list[RoundStats] = field(default_factory=list)
     total_time_s: float = 0.0
     downtime_s: float = 0.0
@@ -61,6 +90,22 @@ class MigrationStats:
     dup_pages: int = 0
     data_pages: int = 0
     setup_time_s: float = 0.0
+    #: "precopy" or "postcopy" (after the switchover).
+    mode: str = "precopy"
+    #: Final auto-converge throttle, percent (QEMU's cpu-throttle-percentage).
+    throttle_pct: float = 0.0
+    #: Times auto-converge escalated the throttle.
+    auto_converge_kicks: int = 0
+    #: Precopy gave up on the downtime SLA (forced stop at the round cap).
+    sla_violated: bool = False
+    #: Postcopy stream interruptions (distinct outages, not retry attempts).
+    stream_drops: int = 0
+    #: Successful migrate-recover resumptions after a drop.
+    recoveries: int = 0
+    #: Bytes pulled after the postcopy switchover.
+    postcopy_bytes: float = 0.0
+    #: Sim time of the postcopy switchover (None = stayed precopy).
+    switchover_at: Optional[float] = None
 
     @property
     def iterations(self) -> int:
@@ -72,6 +117,11 @@ class MigrationStats:
             return 0.0
         return self.wire_bytes / self.total_time_s
 
+    @property
+    def in_flight(self) -> bool:
+        """A migration thread still owns the VM (precopy or postcopy)."""
+        return self.status in IN_FLIGHT_STATUSES
+
 
 class MigrationJob:
     """One migration of a VM from its current node to ``dst_node``."""
@@ -81,15 +131,22 @@ class MigrationJob:
         qemu: "QemuProcess",
         dst_node: "PhysicalNode",
         rdma: bool = False,
+        policy: Optional[MigrationPolicy] = None,
     ) -> None:
         self.qemu = qemu
         self.env = qemu.env
         self.calibration = qemu.calibration
         self.dst_node = dst_node
         self.rdma = rdma
+        self.policy = policy if policy is not None else MigrationPolicy()
         self.stats = MigrationStats()
         self.done = Event(self.env)
         self._process = None
+        #: Pages the destination holds a current copy of (received-page
+        #: bitmap); the postcopy drain and migrate-recover resume from it.
+        self.received: Optional[np.ndarray] = None
+        self._switched = False
+        self._origin_node: Optional["PhysicalNode"] = None
 
     # -- public ------------------------------------------------------------------
 
@@ -134,9 +191,17 @@ class MigrationJob:
 
     @property
     def _max_downtime_s(self) -> float:
+        if self.policy.downtime_limit_s is not None:
+            return self.policy.downtime_limit_s
         if self.qemu.migration_max_downtime_s is not None:
             return self.qemu.migration_max_downtime_s
         return self.calibration.max_downtime_s
+
+    @property
+    def _max_rounds(self) -> int:
+        if self.policy.max_iterations is not None:
+            return self.policy.max_iterations
+        return self.calibration.max_precopy_rounds
 
     def _round_cost(self, mask: Optional[np.ndarray]) -> tuple[int, int, float, float]:
         """(dup_pages, data_pages, wire_bytes, cpu_seconds) for a round."""
@@ -155,15 +220,26 @@ class MigrationJob:
             )
         return dup, data, wire, cpu_seconds
 
-    def _transfer(self, wire_bytes: float, cpu_seconds: float):
-        """Ship ``wire_bytes`` src→dst, CPU-paced; returns the flow."""
+    def _transfer(
+        self,
+        wire_bytes: float,
+        cpu_seconds: float,
+        src_node: Optional["PhysicalNode"] = None,
+    ):
+        """Ship ``wire_bytes`` src→dst, CPU-paced; returns the flow.
+
+        ``src_node`` defaults to wherever the QEMU currently runs; the
+        postcopy drain passes the origin explicitly (the VM has already
+        relocated to the destination by then).
+        """
         # The single migration thread paces the stream: the flow's cap is
         # chosen so an uncontended network finishes in exactly cpu_seconds.
         if cpu_seconds > 0:
             eff_cap = max(wire_bytes, 1.0) / cpu_seconds
         else:
             eff_cap = float("inf")
-        src_node = self.qemu.node
+        if src_node is None:
+            src_node = self.qemu.node
         if src_node is self.dst_node:
             # Self-migration: loopback stream, no fabric involvement.
             return self.qemu.loopback_flows.start([], wire_bytes, cap_Bps=eff_cap, label="migr")
@@ -175,29 +251,62 @@ class MigrationJob:
         dst = fabric.port(self.dst_node.name)
         return fabric.transfer(src, dst, wire_bytes, cap_Bps=eff_cap, label=f"migr.{self.qemu.vm.name}")
 
+    def _set_throttle(self, value: float) -> None:
+        vm = self.qemu.vm
+        vm.cpu_throttle = value
+        self.stats.throttle_pct = round(value * 100.0, 1)
+
+    def _account_round(self, mask: Optional[np.ndarray]) -> None:
+        """Fold a sent round into the received-page bitmap."""
+        if self.received is None:
+            return
+        if mask is None:
+            self.received[:] = True
+        else:
+            self.received |= mask
+
     def _run(self):
         try:
             stats = yield from self._run_inner()
             return stats
         except Exception as err:
-            # Mirror QEMU: a failed migration leaves the VM running on
-            # the source; query-migrate reports "failed".
             self.stats.status = "failed"
             memory = self.qemu.vm.memory
             if memory.dirty_logging:
                 memory.stop_dirty_logging()
-            if self.qemu.vm.state is RunState.PAUSED:
-                self.qemu.vm.set_state(RunState.RUNNING)
-            self.qemu.trace("migration", "failed", error=str(err))
+            self._set_throttle(0.0)
+            if self._switched:
+                # Postcopy failure semantics: the only complete RAM image
+                # is split across two hosts — the VM is lost, not restored.
+                # Mirror QEMU: it stays PAUSED on the destination.
+                if self.qemu.vm.state is not RunState.SHUTOFF:
+                    self.qemu.vm.set_state(RunState.PAUSED)
+                self.qemu.trace(
+                    "migration", "failed", error=str(err), postcopy=True, vm_lost=True
+                )
+            else:
+                # Mirror QEMU: a failed precopy leaves the VM running on
+                # the source; query-migrate reports "failed".
+                if self.qemu.vm.state is RunState.PAUSED:
+                    self.qemu.vm.set_state(RunState.RUNNING)
+                self.qemu.trace("migration", "failed", error=str(err))
             self.done.fail(err)
             return self.stats
 
     def _run_inner(self):
         cal = self.calibration
+        policy = self.policy
         vm = self.qemu.vm
         memory = vm.memory
         t_start = self.env.now
-        self.qemu.trace("migration", "start", dst=self.dst_node.name, rdma=self.rdma)
+        self.qemu.trace(
+            "migration",
+            "start",
+            dst=self.dst_node.name,
+            rdma=self.rdma,
+            postcopy=policy.postcopy,
+            auto_converge=policy.auto_converge,
+        )
 
         # Capability negotiation, dest QEMU spawn, NFS image handoff.
         yield self.env.timeout(cal.migration_setup_s)
@@ -209,64 +318,132 @@ class MigrationJob:
         yield from self.qemu.cluster.faults.perturb("migration.stream")
 
         memory.start_dirty_logging()
+        self.received = np.zeros(memory.npages, dtype=bool)
         mask: Optional[np.ndarray] = None  # round 0: full RAM traversal
         forced_stop = False
         downtime_started: Optional[float] = None
+        prev_est: Optional[float] = None
+        no_progress = 0
+        go_postcopy = policy.postcopy == "always"
 
-        for round_index in range(cal.max_precopy_rounds + 2):
-            npages = memory.npages if mask is None else int(mask.sum())
-            dup, data, wire, cpu_seconds = self._round_cost(mask)
-            t_round = self.env.now
-            if npages > 0:
-                flow = self._transfer(wire, cpu_seconds)
-                yield flow.done
-            duration = self.env.now - t_round
-            self.stats.rounds.append(
-                RoundStats(round_index, npages, dup, data, wire, duration, t_round)
-            )
-            self.stats.wire_bytes += wire
-            self.stats.scanned_pages += npages
-            self.stats.dup_pages += dup
-            self.stats.data_pages += data
+        while not go_postcopy:
+            for round_index in range(self._max_rounds + 2):
+                npages = memory.npages if mask is None else int(mask.sum())
+                dup, data, wire, cpu_seconds = self._round_cost(mask)
+                t_round = self.env.now
+                if npages > 0:
+                    flow = self._transfer(wire, cpu_seconds)
+                    yield flow.done
+                duration = self.env.now - t_round
+                round_stats = RoundStats(
+                    round_index, npages, dup, data, wire, duration, t_round,
+                    throttle=vm.cpu_throttle,
+                )
+                self.stats.rounds.append(round_stats)
+                self.stats.wire_bytes += wire
+                self.stats.scanned_pages += npages
+                self.stats.dup_pages += dup
+                self.stats.data_pages += data
+                self._account_round(mask)
+                self.qemu.trace(
+                    "migration",
+                    "round",
+                    index=round_index,
+                    pages=npages,
+                    wire_bytes=int(wire),
+                    seconds=round(duration, 4),
+                    throttle=vm.cpu_throttle,
+                )
 
-            if forced_stop or self._guest_parked():
-                # Final pass already ran with the guest quiescent.
-                if self._guest_parked() and memory.dirty_page_count == 0:
-                    break
-                if forced_stop:
-                    break
-                # Parked guest but pages dirtied before the park landed:
-                # one more (still quiescent) pass.
+                if forced_stop or self._guest_parked():
+                    # Final pass already ran with the guest quiescent.
+                    if self._guest_parked() and memory.dirty_page_count == 0:
+                        break
+                    if forced_stop:
+                        break
+                    # Parked guest but pages dirtied before the park landed:
+                    # one more (still quiescent) pass.
+                    mask = memory.snapshot_dirty()
+                    self.received &= ~mask
+                    if not mask.any():
+                        break
+                    continue
+
+                # Guest still running: decide whether to enter stop-and-copy.
                 mask = memory.snapshot_dirty()
-                if not mask.any():
+                self.received &= ~mask
+                remaining = int(mask.sum())
+                if remaining == 0:
                     break
-                continue
+                _, _, est_wire, est_cpu = self._round_cost(mask)
+                est_time = max(est_cpu, 0.0)
+                round_stats.est_downtime_s = est_time
 
-            # Guest still running: decide whether to enter stop-and-copy.
-            mask = memory.snapshot_dirty()
-            remaining = int(mask.sum())
-            if remaining == 0:
-                break
-            _, _, est_wire, est_cpu = self._round_cost(mask)
-            est_time = max(est_cpu, 0.0)
-            if est_time <= self._max_downtime_s or round_index >= cal.max_precopy_rounds:
-                # Stop-and-copy: pause the guest for the last round.
-                downtime_started = self.env.now
-                vm.set_state(RunState.PAUSED)
-                forced_stop = True
+                if est_time <= self._max_downtime_s:
+                    # Converged: pause the guest for the final round.
+                    downtime_started = self.env.now
+                    vm.set_state(RunState.PAUSED)
+                    forced_stop = True
+                    continue
 
-        # Device state + CPU state blob (small, constant).
-        yield self.env.timeout(0.02)
+                # Non-convergence tracking: is the downtime estimate shrinking?
+                if prev_est is not None and est_time >= policy.convergence_ratio * prev_est:
+                    no_progress += 1
+                else:
+                    no_progress = 0
+                prev_est = est_time
 
-        memory.stop_dirty_logging()
-        if downtime_started is not None:
-            self.stats.downtime_s = self.env.now - downtime_started
+                stuck = no_progress >= policy.non_convergence_rounds
+                at_cap = round_index >= self._max_rounds
+                if stuck and policy.auto_converge and vm.cpu_throttle < policy.throttle_max:
+                    # QEMU auto-converge: 20 % first kick, +10 % per kick.
+                    if vm.cpu_throttle == 0.0:
+                        throttle = policy.throttle_initial
+                    else:
+                        throttle = min(
+                            vm.cpu_throttle + policy.throttle_increment,
+                            policy.throttle_max,
+                        )
+                    self._set_throttle(throttle)
+                    self.stats.auto_converge_kicks += 1
+                    no_progress = 0
+                    prev_est = None  # re-baseline under the new throttle
+                    self.qemu.trace(
+                        "migration",
+                        "auto_converge",
+                        throttle=throttle,
+                        est_downtime_s=round(est_time, 3),
+                    )
+                    continue
+                if (stuck or at_cap) and policy.postcopy_enabled:
+                    go_postcopy = True
+                    break
+                if at_cap:
+                    # SLA exhausted with no escalation available: stop-and-copy
+                    # anyway (the pre-policy behaviour) and flag the violation.
+                    self.stats.sla_violated = est_time > self._max_downtime_s
+                    downtime_started = self.env.now
+                    vm.set_state(RunState.PAUSED)
+                    forced_stop = True
+            else:  # pragma: no cover - loop always breaks
+                pass
+            break
 
-        # Switch-over: the VM now runs on the destination.
-        self.qemu.relocate(self.dst_node)
-        if vm.state is RunState.PAUSED:
-            vm.set_state(RunState.RUNNING)
+        if go_postcopy:
+            yield from self._postcopy_switchover()
+            yield from self._postcopy_drain()
+        else:
+            # Device state + CPU state blob (small, constant).
+            yield self.env.timeout(0.02)
+            memory.stop_dirty_logging()
+            if downtime_started is not None:
+                self.stats.downtime_s = self.env.now - downtime_started
+            # Switch-over: the VM now runs on the destination.
+            self.qemu.relocate(self.dst_node)
+            if vm.state is RunState.PAUSED:
+                vm.set_state(RunState.RUNNING)
 
+        self._set_throttle(0.0)
         self.stats.total_time_s = self.env.now - t_start
         self.stats.status = "completed"
         self.qemu.trace(
@@ -276,6 +453,106 @@ class MigrationJob:
             seconds=round(self.stats.total_time_s, 3),
             wire_bytes=int(self.stats.wire_bytes),
             rounds=self.stats.iterations,
+            mode=self.stats.mode,
+            stream_drops=self.stats.stream_drops,
         )
         self.done.succeed(self.stats)
         return self.stats
+
+    # -- postcopy ----------------------------------------------------------------
+
+    def _postcopy_switchover(self):
+        """Flip execution to the destination; RAM follows on demand.
+
+        This is the point of no return: after it the origin holds pages
+        but no runnable VM, and failure loses the VM instead of falling
+        back to the source.
+        """
+        vm = self.qemu.vm
+        memory = vm.memory
+        t_pause = self.env.now
+        vm.set_state(RunState.PAUSED)
+        # Device state + CPU state blob travels with the switchover.
+        yield self.env.timeout(0.02)
+        final_dirty = memory.snapshot_dirty()
+        self.received &= ~final_dirty
+        memory.stop_dirty_logging()
+        self._origin_node = self.qemu.node
+        self.qemu.relocate(self.dst_node)
+        self._switched = True
+        self.stats.mode = "postcopy"
+        self.stats.switchover_at = self.env.now
+        self.stats.downtime_s = self.env.now - t_pause
+        vm.set_state(RunState.RUNNING)  # parked guests stay gated in the hypercall
+        self.stats.status = "postcopy-active"
+        self.qemu.trace(
+            "migration",
+            "postcopy_switchover",
+            dst=self.dst_node.name,
+            missing_pages=int((~self.received).sum()),
+            downtime_s=round(self.stats.downtime_s, 4),
+        )
+
+    def _postcopy_drain(self):
+        """Pull missing pages origin→destination from the received bitmap.
+
+        A dropped stream pauses the drain and retries with exponential
+        backoff (``migrate-pause``/``migrate-recover``); each resumption
+        continues from the bitmap, so already-received pages are never
+        re-sent.  Exhausting the recovery budget raises — and loses the VM.
+        """
+        policy = self.policy
+        memory = self.qemu.vm.memory
+        chunk_pages = max(1, POSTCOPY_CHUNK_BYTES // memory.page_size)
+        attempt = 0
+        while True:
+            missing = np.flatnonzero(~self.received)
+            if missing.size == 0:
+                break
+            chunk_idx = missing[:chunk_pages]
+            chunk_mask = np.zeros(memory.npages, dtype=bool)
+            chunk_mask[chunk_idx] = True
+            dup, data, wire, cpu_seconds = self._round_cost(chunk_mask)
+            try:
+                flow = self._transfer(wire, cpu_seconds, src_node=self._origin_node)
+                yield flow.done
+            except NetworkError as err:
+                if attempt == 0:
+                    self.stats.stream_drops += 1
+                self.stats.status = "postcopy-paused"
+                attempt += 1
+                if attempt > policy.recover_max_attempts:
+                    raise MigrationError(
+                        f"{self.qemu.vm.name}: postcopy stream unrecoverable after "
+                        f"{policy.recover_max_attempts} migrate-recover attempts: {err}"
+                    ) from err
+                backoff = min(
+                    policy.recover_backoff_s * (2.0 ** (attempt - 1)),
+                    policy.recover_backoff_max_s,
+                )
+                self.qemu.trace(
+                    "migration",
+                    "postcopy_pause",
+                    attempt=attempt,
+                    missing_pages=int(missing.size),
+                    retry_in_s=backoff,
+                    error=str(err),
+                )
+                yield self.env.timeout(backoff)
+                continue
+            if attempt > 0:
+                attempt = 0
+                self.stats.recoveries += 1
+                self.stats.status = "postcopy-active"
+                self.qemu.trace(
+                    "migration",
+                    "postcopy_recover",
+                    missing_pages=int(missing.size),
+                    recoveries=self.stats.recoveries,
+                )
+            self.received[chunk_idx] = True
+            self.stats.wire_bytes += wire
+            self.stats.postcopy_bytes += wire
+            self.stats.scanned_pages += int(chunk_idx.size)
+            self.stats.dup_pages += dup
+            self.stats.data_pages += data

@@ -1,0 +1,81 @@
+"""Migration policy: how a migration reacts to a degraded data path.
+
+QEMU exposes the same dials through migration *capabilities* and
+*parameters*: ``auto-converge`` (throttle the guest's vCPUs until precopy
+converges), ``postcopy-ram`` (switch the VM to the destination and pull the
+remaining pages on demand), ``downtime-limit`` and ``max-iterations`` SLAs.
+The default policy reproduces the pre-existing plain-precopy behaviour
+bit-for-bit; :meth:`MigrationPolicy.adaptive` turns the whole escalation
+ladder on (precopy → auto-converge throttling → postcopy fallback).
+
+Postcopy is *opt-in* because its failure semantics differ fundamentally
+from precopy: after the switchover the only complete copy of the guest's
+RAM is split across two hosts, so losing the origin (or exhausting stream
+recovery) loses the VM instead of falling back to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Valid ``postcopy`` settings (mirrors the CLI flag).
+POSTCOPY_MODES = ("off", "fallback", "always")
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Escalation policy for one migration."""
+
+    #: "off" = plain precopy; "fallback" = switch to postcopy only when
+    #: precopy (after throttling) cannot converge; "always" = switch over
+    #: immediately (one round of downtime-free bulk precopy is skipped).
+    postcopy: str = "off"
+    #: Enable QEMU-style auto-converge vCPU throttling.
+    auto_converge: bool = False
+    #: First throttle step, applied when non-convergence is detected.
+    throttle_initial: float = 0.20
+    #: Added per subsequent non-convergent detection.
+    throttle_increment: float = 0.10
+    #: Hard throttle ceiling (QEMU's max-cpu-throttle, default 99 %).
+    throttle_max: float = 0.99
+    #: Overrides the QMP/calibration downtime limit when set.
+    downtime_limit_s: Optional[float] = None
+    #: Overrides ``calibration.max_precopy_rounds`` when set.
+    max_iterations: Optional[int] = None
+    #: A round "made no progress" when its estimated downtime is at least
+    #: this fraction of the previous round's estimate.
+    convergence_ratio: float = 0.95
+    #: Consecutive no-progress rounds before escalating.
+    non_convergence_rounds: int = 2
+    #: Postcopy stream-recovery budget (migrate-recover attempts).
+    recover_max_attempts: int = 50
+    recover_backoff_s: float = 1.0
+    recover_backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.postcopy not in POSTCOPY_MODES:
+            raise ValueError(
+                f"postcopy must be one of {POSTCOPY_MODES}, got {self.postcopy!r}"
+            )
+        if not 0.0 < self.throttle_max < 1.0:
+            raise ValueError("throttle_max must be in (0, 1)")
+        if self.non_convergence_rounds < 1:
+            raise ValueError("non_convergence_rounds must be >= 1")
+        if self.recover_max_attempts < 0:
+            raise ValueError("recover_max_attempts must be >= 0")
+
+    @classmethod
+    def adaptive(cls, postcopy: str = "fallback", **overrides) -> "MigrationPolicy":
+        """The full escalation ladder: throttle first, then postcopy."""
+        return cls(postcopy=postcopy, auto_converge=True, **overrides)
+
+    def replace(self, **changes) -> "MigrationPolicy":
+        return replace(self, **changes)
+
+    @property
+    def postcopy_enabled(self) -> bool:
+        return self.postcopy != "off"
+
+
+DEFAULT_POLICY = MigrationPolicy()

@@ -18,6 +18,7 @@ from repro.vmm.hotplug import AcpiHotplugController
 from repro.vmm.hypercall import HypercallChannel
 from repro.vmm.migration import MigrationJob
 from repro.vmm.passthrough import PassthroughAssignment
+from repro.vmm.policy import MigrationPolicy
 from repro.vmm.qmp import QmpServer
 from repro.vmm.virtio import create_virtio_nic, rebind_backend
 from repro.vmm.vm import RunState, VirtualMachine
@@ -139,11 +140,16 @@ class QemuProcess:
 
     # -- migration ----------------------------------------------------------------------
 
-    def migrate(self, dst_node: "PhysicalNode", rdma: bool = False) -> MigrationJob:
+    def migrate(
+        self,
+        dst_node: "PhysicalNode",
+        rdma: bool = False,
+        policy: Optional["MigrationPolicy"] = None,
+    ) -> MigrationJob:
         """Begin migrating the VM to ``dst_node`` (QMP ``migrate``)."""
-        if self.current_migration is not None and self.current_migration.stats.status == "active":
+        if self.current_migration is not None and self.current_migration.stats.in_flight:
             raise VmmError(f"{self.vm.name}: migration already in progress")
-        job = MigrationJob(self, dst_node, rdma=rdma)
+        job = MigrationJob(self, dst_node, rdma=rdma, policy=policy)
         job.start()
         self.current_migration = job
         return job

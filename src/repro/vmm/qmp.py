@@ -80,9 +80,11 @@ class QmpServer:
             raise QmpError("DuplicateId", f"Duplicate ID '{id}' for device")
         return {"pending": id}
 
-    def _cmd_migrate(self, uri: str, rdma: bool = False) -> dict:
+    def _cmd_migrate(self, uri: str, rdma: bool = False, policy=None) -> dict:
         """Start a migration to ``uri`` (``tcp:<host>:4444``).
 
+        ``policy`` carries the degraded-path escalation knobs (QEMU splits
+        these across migrate-set-capabilities/-parameters; one object here).
         Raises the migration-blocker error when a passthrough device is
         still attached — the exact failure Ninja migration avoids.
         """
@@ -91,7 +93,7 @@ class QmpServer:
             dst_node = self.qemu.cluster.node(host)
         except Exception as err:
             raise QmpError("MigrationError", f"cannot resolve {uri!r}") from err
-        job = self.qemu.migrate(dst_node, rdma=rdma)
+        job = self.qemu.migrate(dst_node, rdma=rdma, policy=policy)
         return {"job": job}
 
     def _cmd_migrate_set_speed(self, value: float) -> dict:
@@ -119,13 +121,16 @@ class QmpServer:
         stats = job.stats
         return {
             "status": stats.status,
+            "mode": stats.mode,
             "total-time": int(stats.total_time_s * 1000),
             "downtime": int(stats.downtime_s * 1000),
+            "cpu-throttle-percentage": stats.throttle_pct,
             "ram": {
                 "transferred": int(stats.wire_bytes),
                 "duplicate": stats.dup_pages,
                 "normal": stats.data_pages,
                 "iterations": stats.iterations,
+                "postcopy-bytes": int(stats.postcopy_bytes),
             },
         }
 

@@ -98,6 +98,11 @@ class VirtualMachine:
         self.kernel: Optional["GuestKernel"] = None
         #: Wired by QemuProcess (SymVirt transport).
         self.hypercall: Optional["HypercallChannel"] = None
+        #: Auto-converge vCPU throttle (0.0 = none, 0.99 = QEMU's max).
+        #: Set by the migration job; every guest compute/dirtying path
+        #: scales by :attr:`cpu_share`, which closes the feedback loop
+        #: that lets a throttled precopy converge.
+        self.cpu_throttle = 0.0
 
     # -- state transitions -----------------------------------------------------
 
@@ -114,6 +119,11 @@ class VirtualMachine:
     @property
     def running(self) -> bool:
         return self.state is RunState.RUNNING
+
+    @property
+    def cpu_share(self) -> float:
+        """Fraction of vCPU time the guest keeps under auto-converge."""
+        return max(1.0 - self.cpu_throttle, 0.01)
 
     # -- guest execution ----------------------------------------------------------
 
@@ -140,8 +150,12 @@ class VirtualMachine:
                 factor = node.contention_factor(
                     self.qemu.calibration.busy_poll_overcommit_exponent
                 )
+            # Auto-converge throttling stretches guest CPU time: a guest
+            # keeping cpu_share of its vCPUs takes 1/cpu_share as long.
             barrier = node.cpu.run_parallel(
-                cpu_seconds * factor, threads, label=f"{self.name}.compute"
+                cpu_seconds * factor / self.cpu_share,
+                threads,
+                label=f"{self.name}.compute",
             )
             yield barrier
             done.succeed()

@@ -24,6 +24,7 @@ def test_examples_directory_complete():
         "symvirt_script.py",
         "generic_service.py",
         "proactive_fault_tolerance.py",
+        "degraded_wan.py",
     } <= set(EXAMPLES)
 
 

@@ -136,3 +136,37 @@ def test_fleet_crash_drill_without_recovery_exits_two(capsys):
     ]) == 2
     out = capsys.readouterr().out
     assert "no recovery requested" in out
+
+
+def test_demo_postcopy_always_flag(capsys):
+    assert main(["demo", "--postcopy", "always"]) == 0
+    out = capsys.readouterr().out
+    assert "fallback complete" in out
+    assert "switchover" in out
+
+
+def test_demo_degrade_flag(capsys):
+    assert main([
+        "demo", "--degrade", "loss=0.1@t=2,lat=0.05@t=1+20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "armed network chaos" in out
+    assert "fallback complete" in out
+
+
+def test_demo_rejects_bad_degrade_spec():
+    from repro.errors import NetworkError
+
+    with pytest.raises(NetworkError):
+        main(["demo", "--degrade", "zap=1@t=0"])
+
+
+def test_fleet_degraded_path_flags(capsys):
+    assert main([
+        "fleet", "--jobs", "2", "--postcopy", "fallback",
+        "--degrade", "bw=0.5@t=1+10", "--degrade-link", "wan:*",
+        "--viability-floor-gbps", "0.01",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet drain" in out
+    assert "completed" in out

@@ -1,0 +1,172 @@
+"""Unit tests: postcopy migration — switchover, the received-page bitmap,
+migrate-pause/migrate-recover, and the VM-loss failure semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationError
+from repro.guestos.process import MemoryWriter
+from repro.network.degradation import DegradationEvent, NetworkChaos
+from repro.units import GiB, MiB
+from repro.vmm.guest_memory import PageClass
+from repro.vmm.policy import MigrationPolicy
+from repro.vmm.qemu import QemuProcess
+from repro.vmm.vm import RunState
+from tests.conftest import drive
+
+
+@pytest.fixture
+def qemu(cluster):
+    q = QemuProcess(cluster, cluster.node("ib01"), "vm1", memory_bytes=4 * GiB)
+    q.boot()
+    q.vm.memory.write(1 * GiB, 1 * GiB, PageClass.DATA)
+    return q
+
+
+def _full_wire_bytes(qemu):
+    memory = qemu.vm.memory
+    cal = qemu.calibration
+    dup, data = memory.dup_and_data_pages(None)
+    return dup * cal.dup_page_wire_bytes + data * (memory.page_size + cal.page_header_bytes)
+
+
+def _migrate(cluster, qemu, dst_name, policy, before_s=1.0):
+    env = cluster.env
+
+    def main(env):
+        yield env.timeout(before_s)
+        job = qemu.migrate(cluster.node(dst_name), policy=policy)
+        try:
+            yield job.done
+        except MigrationError:
+            pass
+        return job
+
+    return drive(env, main(env))
+
+
+def test_postcopy_always_switches_over_immediately(cluster, qemu):
+    job = _migrate(cluster, qemu, "ib02", MigrationPolicy(postcopy="always"))
+    stats = job.stats
+
+    assert stats.status == "completed"
+    assert stats.mode == "postcopy"
+    assert stats.switchover_at is not None
+    # Downtime is the device-state blob only — RAM follows on demand.
+    assert stats.downtime_s < 0.1
+    assert stats.postcopy_bytes == pytest.approx(_full_wire_bytes(qemu))
+    assert bool(np.all(job.received))
+    assert qemu.node.name == "ib02"
+    assert qemu.vm.state is RunState.RUNNING
+    assert not qemu.vm.memory.dirty_logging
+    record = cluster.tracer.first("migration", "postcopy_switchover")
+    assert record is not None and record.fields["missing_pages"] > 0
+
+
+def test_postcopy_fallback_escalates_when_throttling_fails(cluster, qemu):
+    """A capped throttle cannot slow the guest below the link rate, so
+    the fallback policy escalates precopy to postcopy — with the downtime
+    still bounded by the switchover blob, not the dirty set."""
+    writer = MemoryWriter(
+        qemu.vm, 512 * MiB, page_class=PageClass.DATA,
+        chunk_bytes=2 * MiB, write_Bps=2 * GiB,
+    )
+    cluster.env.process(writer.run())
+    policy = MigrationPolicy.adaptive(
+        postcopy="fallback", throttle_max=0.5, non_convergence_rounds=1
+    )
+    job = _migrate(cluster, qemu, "ib02", policy)
+    writer.stop()
+    stats = job.stats
+
+    assert stats.status == "completed"
+    assert stats.mode == "postcopy"
+    assert stats.auto_converge_kicks >= 1  # throttling was tried first
+    assert stats.downtime_s < 0.5
+    assert stats.iterations >= 1  # some precopy rounds ran before escalating
+    assert qemu.node.name == "ib02"
+    assert qemu.vm.cpu_throttle == 0.0
+
+
+def test_postcopy_stream_drop_recovers_from_bitmap(cluster, qemu):
+    """A mid-drain outage pauses the drain (migrate-pause); recovery
+    resumes from the received-page bitmap, so every page crosses the wire
+    exactly once despite the drop."""
+    chaos = NetworkChaos(
+        cluster,
+        [DegradationEvent(at_time=0.0, kind="drop", duration_s=4.0,
+                          link_pattern="ib01*")],
+    )
+    env = cluster.env
+
+    def drop_later(env):
+        yield env.timeout(5.0)  # mid-drain (drain spans roughly t=1.5..14)
+        chaos.start()
+
+    env.process(drop_later(env))
+    policy = MigrationPolicy(postcopy="always", recover_backoff_s=1.0)
+    job = _migrate(cluster, qemu, "ib02", policy)
+    stats = job.stats
+
+    assert stats.status == "completed"
+    assert stats.stream_drops == 1
+    assert stats.recoveries == 1
+    # Bitmap resume: no page is re-sent — total wire ≈ one full image.
+    assert stats.wire_bytes == pytest.approx(_full_wire_bytes(qemu))
+    assert bool(np.all(job.received))
+    assert qemu.node.name == "ib02"
+    assert qemu.vm.state is RunState.RUNNING
+    assert cluster.tracer.count("migration", "postcopy_pause") >= 1
+    assert cluster.tracer.count("migration", "postcopy_recover") == 1
+
+
+def test_postcopy_unrecoverable_drop_loses_vm(cluster, qemu):
+    """Exhausting migrate-recover after the switchover cannot fall back:
+    the only complete RAM image is split across two hosts.  The VM is
+    lost — left PAUSED on the destination, never silently restarted."""
+    chaos = NetworkChaos(
+        cluster,
+        [DegradationEvent(at_time=0.0, kind="drop", duration_s=600.0,
+                          link_pattern="ib01*")],
+    )
+    env = cluster.env
+
+    def drop_later(env):
+        yield env.timeout(5.0)
+        chaos.start()
+
+    env.process(drop_later(env))
+    policy = MigrationPolicy(
+        postcopy="always", recover_max_attempts=2, recover_backoff_s=0.5
+    )
+    job = _migrate(cluster, qemu, "ib02", policy)
+    stats = job.stats
+
+    assert stats.status == "failed"
+    assert stats.stream_drops == 1
+    assert stats.recoveries == 0
+    assert qemu.node.name == "ib02"  # execution had already moved
+    assert qemu.vm.state is RunState.PAUSED
+    assert not qemu.vm.memory.dirty_logging
+    assert qemu.vm.cpu_throttle == 0.0
+    record = cluster.tracer.last("migration", "failed")
+    assert record is not None and record.fields.get("vm_lost") is True
+
+
+def test_precopy_rounds_maintain_received_bitmap(cluster, qemu):
+    """Precopy keeps the bitmap too: pages redirtied after a round are
+    cleared again, so a later switchover knows exactly what is missing."""
+    writer = MemoryWriter(
+        qemu.vm, 512 * MiB, page_class=PageClass.DATA,
+        chunk_bytes=2 * MiB, write_Bps=2 * GiB,
+    )
+    cluster.env.process(writer.run())
+    policy = MigrationPolicy(postcopy="fallback", max_iterations=2)
+    job = _migrate(cluster, qemu, "ib02", policy)
+    writer.stop()
+
+    assert job.stats.mode == "postcopy"
+    # Everything ended up received, and the postcopy tail only pulled the
+    # pages precopy had not already landed.
+    assert bool(np.all(job.received))
+    assert 0 < job.stats.postcopy_bytes < job.stats.wire_bytes
