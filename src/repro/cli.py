@@ -17,6 +17,10 @@
                            [--trace-out PATH] [--degrade SPEC]
                            [--degrade-link PATTERN] [--postcopy MODE]
                            [--viability-floor-gbps G]
+    python -m repro incident [--jobs 4] [--vms-per-job 1] [--spares 2]
+                           [--cut-at 6] [--heal-after 120] [--wan-gbps 1.0]
+                           [--no-autonomous] [--crash-during-remediation]
+                           [--trace-out PATH]
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
@@ -37,7 +41,15 @@ into the drain, a recovery manager reconciles, and a successor
 orchestrator resubmits the orphaned requests.  ``--trace-out`` dumps the
 full simulation trace as JSON Lines.
 
-Degraded-path flags (both commands): ``--degrade`` schedules network
+``incident`` runs the mid-drain fiber-cut drill: the WAN goes dark
+``--cut-at`` seconds into a fleet drain and the incident-response stack
+(telemetry → detectors → correlator → runbook) must diagnose the cut and
+route around it with zero lost VMs.  ``--no-autonomous`` is the
+diagnosis-only baseline; ``--crash-during-remediation`` kills the
+controller mid-runbook and a successor resumes from the journal.  Exit
+status: 0 when no VM was lost and no request failed, 1 otherwise.
+
+Degraded-path flags (``demo``/``fleet``): ``--degrade`` schedules network
 chaos against the links matching ``--degrade-link`` — a comma-separated
 list of ``kind[=value]@t=T[+D]`` tokens, e.g.
 ``--degrade "loss=0.2@t=2,drop@t=5+10"`` (packet loss from t+2, a 10 s
@@ -384,6 +396,64 @@ def _cmd_fleet_crash(args: argparse.Namespace, tracer) -> int:
     return 0 if result.aborted + result.failed == 0 else 1
 
 
+def _cmd_incident(args: argparse.Namespace) -> int:
+    from repro.incident.scenario import run_incident_scenario
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    result = run_incident_scenario(
+        jobs=args.jobs,
+        vms_per_job=args.vms_per_job,
+        spares=args.spares,
+        cut_at_s=args.cut_at,
+        heal_after_s=args.heal_after,
+        autonomous=not args.no_autonomous,
+        crash_during_remediation=args.crash_during_remediation,
+        wan_gbps=args.wan_gbps,
+        tracer=tracer,
+    )
+    mode = "diagnosis only (baseline)" if args.no_autonomous else "autonomous"
+    print(f"incident drill — {result.jobs} jobs x {result.vms_per_job} VM(s), "
+          f"WAN cut at t+{result.cut_at_s:.0f}s for {result.heal_after_s:.0f}s, {mode}")
+    if result.crash_injected:
+        crashed = "fired" if result.crashed else "never fired"
+        print(f"  controller crash armed mid-remediation: {crashed}; "
+              f"successor resumed {result.resumed_incidents} incident(s), "
+              f"double-executed steps: {result.double_executed or 'none'}")
+    print(f"  diagnosis: {result.incident_class or '(none)'}"
+          f"  MTTD={'-' if result.mttd_s is None else f'{result.mttd_s:.2f}s'}"
+          f"  MTTR={'-' if result.mttr_s is None else f'{result.mttr_s:.2f}s'}"
+          f"  alerts={result.alerts}")
+    if result.actions:
+        print(f"  runbook:   {' -> '.join(result.actions)}")
+    print(f"  outcomes:  {result.completed} completed, {result.aborted} aborted, "
+          f"{result.failed} failed, {result.cancelled} cancelled; "
+          f"evacuated: {', '.join(result.evacuated_jobs) or 'none'}")
+    print(f"  lost VMs:  {', '.join(result.lost_vms) or 'none'}")
+    print(f"  makespan:  {result.makespan_s:.1f} s")
+    rows = [
+        [
+            str(i["incident"]), str(i["class"]), str(i["status"]),
+            "-" if i["mttd_s"] is None else f"{i['mttd_s']:.2f}",
+            "-" if i["mttr_s"] is None else f"{i['mttr_s']:.2f}",
+            " ".join(sorted(i["links"])) or "-",
+        ]
+        for i in result.incidents
+    ]
+    if rows:
+        print(render_table(
+            ["incident", "class", "status", "MTTD [s]", "MTTR [s]", "links"],
+            rows, title="incidents",
+        ))
+    print(render_table(
+        ["job", "now on"],
+        [[job, " ".join(hosts)] for job, hosts in sorted(result.final_hosts.items())],
+        title="final placement",
+    ))
+    _save_trace(tracer, args.trace_out)
+    return 0 if not result.lost_vms and result.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -483,6 +553,35 @@ def build_parser() -> argparse.ArgumentParser:
              "degraded below G Gbit/s (re-probed until it heals)",
     )
     pf.set_defaults(func=_cmd_fleet)
+
+    pi = sub.add_parser(
+        "incident",
+        help="mid-drain fiber-cut drill through the incident-response stack",
+    )
+    pi.add_argument("--jobs", type=int, default=4, help="number of MPI jobs to drain")
+    pi.add_argument("--vms-per-job", type=int, default=1)
+    pi.add_argument("--spares", type=int, default=2,
+                    help="empty primary-site hosts (evacuation headroom)")
+    pi.add_argument("--cut-at", type=float, default=6.0, metavar="T",
+                    help="cut the WAN fiber T seconds into the drain")
+    pi.add_argument("--heal-after", type=float, default=120.0, metavar="D",
+                    help="fiber stays dark for D seconds")
+    pi.add_argument("--wan-gbps", type=float, default=1.0,
+                    help="WAN pipe to the backup site")
+    pi.add_argument(
+        "--no-autonomous", action="store_true",
+        help="diagnosis-only baseline: detect and classify, never remediate",
+    )
+    pi.add_argument(
+        "--crash-during-remediation", action="store_true",
+        help="kill the controller at the evacuation step; a successor "
+             "resumes the runbook from the journal",
+    )
+    pi.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the simulation trace to PATH as JSON Lines",
+    )
+    pi.set_defaults(func=_cmd_incident)
     return parser
 
 

@@ -183,3 +183,8 @@ class SchedulerError(ReproError):
 class FleetError(ReproError):
     """Fleet-orchestrator level failure (double-booked reservation,
     inconsistent request state, admission misuse)."""
+
+
+class IncidentError(ReproError):
+    """Incident-response failure (runbook action exhausted its retries,
+    unknown incident class, malformed runbook)."""

@@ -1,0 +1,227 @@
+"""The self-healing controller: telemetry → alerts → incidents → runbooks.
+
+:class:`IncidentManager` wires the whole pipeline around a
+:class:`~repro.orchestrator.executor.FleetOrchestrator`:
+
+* a :class:`~repro.incident.telemetry.LinkTelemetryProbe` samples the
+  fabric (and heartbeat phi) onto a :class:`TelemetryBus`;
+* a :class:`~repro.incident.telemetry.TracerBridge` republishes live
+  migration-round trace records;
+* every published sample runs through the detector set synchronously;
+  alerts feed the :class:`~repro.incident.correlator.IncidentCorrelator`;
+* each newly opened incident spawns a journaled
+  :class:`~repro.incident.runbook.RunbookExecutor` remediation process
+  (when ``autonomous`` — otherwise incidents are only diagnosed).
+
+A :class:`~repro.errors.ControllerCrashError` escaping a remediation
+marks the manager crashed; a successor manager constructed over the same
+journal calls :meth:`resume` — committed runbook steps are skipped, the
+interrupted one re-runs (all actions are idempotent), so the cluster
+converges without double-executing remediation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ControllerCrashError
+from repro.incident.correlator import RESOLVED, Incident, IncidentCorrelator
+from repro.incident.detectors import Alert, Detector, default_detectors
+from repro.incident.runbook import RunbookExecutor, RunbookStep
+from repro.incident.telemetry import (
+    LinkTelemetryProbe,
+    TelemetryBus,
+    TelemetrySample,
+    TracerBridge,
+)
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.orchestrator.executor import FleetOrchestrator
+    from repro.recovery.failure_detector import HeartbeatMonitor
+    from repro.recovery.journal import MigrationJournal
+
+
+def incidents_from_journal(journal: "MigrationJournal") -> List[Incident]:
+    """Rebuild unresolved incidents from ``incident-open`` records.
+
+    Crash-recovery entry point: the successor controller has no live
+    correlator state, only the journal.  Resolved incidents are skipped.
+    """
+    resolved = {
+        r.payload.get("incident")
+        for r in journal.records
+        if r.kind == "incident-resolved"
+    }
+    rebuilt: List[Incident] = []
+    for record in journal.records:
+        if record.kind != "incident-open":
+            continue
+        incident_id = record.payload.get("incident")
+        if incident_id in resolved:
+            continue
+        rebuilt.append(
+            Incident(
+                incident_id=int(incident_id),  # type: ignore[arg-type]
+                opened_at=float(record.payload.get("opened_at", record.time)),  # type: ignore[arg-type]
+                first_anomaly_at=float(
+                    record.payload.get("first_anomaly_at", record.time)  # type: ignore[arg-type]
+                ),
+                klass=str(record.payload.get("klass", "")),
+                severity="critical",
+                links=set(record.payload.get("links", ())),  # type: ignore[arg-type]
+                hosts=set(record.payload.get("hosts", ())),  # type: ignore[arg-type]
+                jobs=set(record.payload.get("jobs", ())),  # type: ignore[arg-type]
+            )
+        )
+    return rebuilt
+
+
+class IncidentManager:
+    """Detection + diagnosis + (optionally) autonomous remediation."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        orchestrator: "FleetOrchestrator",
+        heartbeats: Optional["HeartbeatMonitor"] = None,
+        bus: Optional[TelemetryBus] = None,
+        detectors: Optional[List[Detector]] = None,
+        correlator: Optional[IncidentCorrelator] = None,
+        runbook: Optional[Dict[str, Tuple[RunbookStep, ...]]] = None,
+        probe_period_s: float = 0.25,
+        autonomous: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.orchestrator = orchestrator
+        self.autonomous = autonomous
+        self.bus = bus if bus is not None else TelemetryBus()
+        self.detectors = (
+            list(detectors) if detectors is not None else default_detectors()
+        )
+        self.correlator = (
+            correlator
+            if correlator is not None
+            else IncidentCorrelator(cluster, orchestrator)
+        )
+        self.executor = RunbookExecutor(
+            cluster, orchestrator, journal=orchestrator.journal, runbook=runbook
+        )
+        self.probe = LinkTelemetryProbe(
+            cluster, self.bus, heartbeats=heartbeats, period_s=probe_period_s
+        )
+        self.bridge = (
+            TracerBridge(cluster.tracer, self.bus)
+            if cluster.tracer is not None
+            else None
+        )
+        self.alerts: List[Alert] = []
+        self.incidents: List[Incident] = []
+        self.crashed = False
+        self.crash_error = ""
+        self.crash_event = Event(self.env)
+        self._procs: List[object] = []
+        self._unsub = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "IncidentManager":
+        """Attach producers/detectors and begin sampling."""
+        if self._unsub is None:
+            self._unsub = self.bus.subscribe(self._on_sample)
+        if self.bridge is not None:
+            self.bridge.attach()
+        self.probe.start()
+        return self
+
+    def stop(self) -> None:
+        self.probe.stop()
+        if self.bridge is not None:
+            self.bridge.detach()
+        if self._unsub is not None:
+            self._unsub()
+            self._unsub = None
+
+    def resume(self) -> List[Incident]:
+        """Re-execute unresolved incidents journaled by a dead manager.
+
+        Committed runbook steps are skipped via the journal fold; the
+        step that held the intent at crash time re-runs.  Returns the
+        incidents taken over.
+        """
+        taken = incidents_from_journal(self.orchestrator.journal)
+        for incident in taken:
+            self.incidents.append(incident)
+            # Register with the (fresh) correlator so ongoing alerts from
+            # the same blast radius fold in instead of opening a duplicate.
+            self.correlator.incidents.append(incident)
+            self.cluster.trace(
+                "incident", "resumed", incident=incident.incident_id,
+                klass=incident.klass,
+            )
+            self._spawn_remediation(incident)
+        return taken
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def _on_sample(self, sample: TelemetrySample) -> None:
+        for detector in self.detectors:
+            alert = detector.observe(sample)
+            if alert is None:
+                continue
+            self.alerts.append(alert)
+            self.cluster.trace(
+                "incident", "alert", detector=alert.detector, kind=alert.kind,
+                key=alert.key, severity=alert.severity, value=alert.value,
+            )
+            incident = self.correlator.ingest(alert)
+            if incident is None:
+                continue
+            self.incidents.append(incident)
+            self.cluster.trace(
+                "incident", "opened", incident=incident.incident_id,
+                klass=incident.klass, severity=incident.severity,
+                links=sorted(incident.links), jobs=sorted(incident.jobs),
+                mttd_s=round(incident.mttd_s, 4),
+            )
+            if self.autonomous and not self.crashed:
+                self._spawn_remediation(incident)
+
+    def _spawn_remediation(self, incident: Incident) -> None:
+        self._procs.append(
+            self.env.process(
+                self._remediate(incident),
+                name=f"incident.remediate.{incident.incident_id}",
+            )
+        )
+
+    def _remediate(self, incident: Incident):
+        try:
+            yield from self.executor.execute(incident)
+        except ControllerCrashError as err:
+            # The controller died mid-remediation.  Journal nothing more;
+            # a successor manager resumes from the last committed step.
+            self.crashed = True
+            self.crash_error = str(err)
+            self.cluster.trace(
+                "incident", "controller_crash",
+                incident=incident.incident_id, error=str(err),
+            )
+            if not self.crash_event.triggered:
+                self.crash_event.succeed(self)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def resolved_incidents(self) -> List[Incident]:
+        return [i for i in self.incidents if i.status == RESOLVED]
+
+    @property
+    def settled(self) -> bool:
+        """Every known incident fully remediated (or none ever opened)."""
+        return all(i.status == RESOLVED for i in self.incidents)
+
+
+__all__ = ["IncidentManager", "incidents_from_journal"]

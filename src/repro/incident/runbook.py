@@ -1,0 +1,450 @@
+"""Declarative runbooks: incident class → ordered remediation actions.
+
+Mirrors the alert-storm → diagnosis → runbook pattern of operational
+network controllers: each incident class maps to an ordered tuple of
+:class:`RunbookStep` entries, and :class:`RunbookExecutor` runs them with
+per-action timeout and retry, journaling every step through the shared
+:class:`~repro.recovery.journal.MigrationJournal`:
+
+``incident-open``
+    Remediation for an incident began (class, links, jobs recorded so a
+    successor controller can rebuild the incident from the journal).
+``incident-action-intent`` / ``incident-action-commit``
+    A step is about to run / has completed.  After a controller crash the
+    successor re-executes *intent-without-commit* steps (all actions are
+    idempotent) and **skips committed ones** — remediation never
+    double-executes an action.
+``incident-resolved``
+    The full runbook completed.
+
+Built-in actions (all idempotent):
+
+``blacklist-links``
+    Declare the incident's links unusable in the
+    :class:`~repro.orchestrator.planner.WavePlanner`.
+``switch-postcopy``
+    Flip the fleet's migration policy to an adaptive postcopy mode so
+    retried/new sequences survive further degradation.
+``raise-viability-floor``
+    Defer new requests whose path bottleneck sits below the floor.
+``evacuate-affected``
+    Cancel doomed pending requests in the blast radius and resubmit the
+    affected jobs as high-priority evacuations routed around the cut;
+    waits for the evacuations to land (``restores_service=True`` steps
+    stamp the incident's MTTR).
+``evacuate-host``
+    Evacuate every job with VMs on the incident's suspect hosts.
+``await-heal``
+    Poll until the incident's links are back up and undegraded.
+``readmit``
+    Lift the blacklist and restore the pre-incident viability floor and
+    migration policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IncidentError, NetworkError, ReproError
+from repro.incident.correlator import REMEDIATING, RESOLVED, Incident
+from repro.orchestrator.admission import (
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    MigrationRequest,
+)
+from repro.sim.process import Interrupt
+from repro.vmm.policy import MigrationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cluster import Cluster
+    from repro.orchestrator.executor import FleetOrchestrator
+    from repro.recovery.journal import MigrationJournal
+
+
+@dataclass(frozen=True)
+class RunbookStep:
+    """One remediation action with its execution policy."""
+
+    action: str
+    params: Dict[str, object] = field(default_factory=dict)
+    timeout_s: float = 120.0
+    retries: int = 1
+    #: The step whose completion restores service (stamps MTTR).
+    restores_service: bool = False
+
+
+#: Incident class → ordered remediation steps.
+DEFAULT_RUNBOOK: Dict[str, Tuple[RunbookStep, ...]] = {
+    "fiber-cut": (
+        RunbookStep("blacklist-links", timeout_s=5.0),
+        RunbookStep("switch-postcopy", {"mode": "fallback"}, timeout_s=5.0),
+        RunbookStep("raise-viability-floor", {"floor_Bps": 50e6}, timeout_s=5.0),
+        RunbookStep("evacuate-affected", timeout_s=300.0, retries=1,
+                    restores_service=True),
+        RunbookStep("await-heal", {"recheck_s": 1.0, "max_wait_s": 600.0},
+                    timeout_s=900.0, retries=0),
+        RunbookStep("readmit", timeout_s=5.0),
+    ),
+    "host-failure": (
+        RunbookStep("evacuate-host", timeout_s=300.0, retries=1,
+                    restores_service=True),
+    ),
+    "degraded-wan": (
+        RunbookStep("switch-postcopy", {"mode": "fallback"}, timeout_s=5.0),
+        RunbookStep("raise-viability-floor", {"floor_Bps": 50e6}, timeout_s=5.0,
+                    restores_service=True),
+        RunbookStep("await-heal", {"recheck_s": 1.0, "max_wait_s": 600.0},
+                    timeout_s=900.0, retries=0),
+        RunbookStep("readmit", timeout_s=5.0),
+    ),
+    "congestion": (
+        RunbookStep("switch-postcopy", {"mode": "fallback"}, timeout_s=5.0,
+                    restores_service=True),
+    ),
+}
+
+
+class RunbookExecutor:
+    """Executes runbooks with journaled, crash-recoverable steps."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        orchestrator: "FleetOrchestrator",
+        journal: Optional["MigrationJournal"] = None,
+        runbook: Optional[Dict[str, Tuple[RunbookStep, ...]]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.orchestrator = orchestrator
+        self.journal = journal if journal is not None else orchestrator.journal
+        self.runbook = runbook if runbook is not None else DEFAULT_RUNBOOK
+        #: (incident_id, step_index, action) tuples actually executed by
+        #: *this* executor — the no-double-execution assertion's witness.
+        self.executed: List[Tuple[int, int, str]] = []
+        #: Evacuation requests submitted per incident.
+        self.evacuations: Dict[int, List[MigrationRequest]] = {}
+        self._saved_floor: Dict[int, object] = {}
+        self._saved_policy: Dict[int, object] = {}
+        self.actions = {
+            "blacklist-links": RunbookExecutor._act_blacklist_links,
+            "switch-postcopy": RunbookExecutor._act_switch_postcopy,
+            "raise-viability-floor": RunbookExecutor._act_raise_floor,
+            "evacuate-affected": RunbookExecutor._act_evacuate_affected,
+            "evacuate-host": RunbookExecutor._act_evacuate_host,
+            "await-heal": RunbookExecutor._act_await_heal,
+            "readmit": RunbookExecutor._act_readmit,
+        }
+
+    # -- journal folds -----------------------------------------------------------
+
+    def committed_steps(self, incident_id: int) -> Set[int]:
+        """Step indices already committed for this incident (journal fold)."""
+        done: Set[int] = set()
+        for record in self.journal.records:
+            if (
+                record.kind == "incident-action-commit"
+                and record.payload.get("incident") == incident_id
+            ):
+                done.add(int(record.payload.get("step", -1)))
+        return done
+
+    def resolved(self, incident_id: int) -> bool:
+        return any(
+            r.kind == "incident-resolved"
+            and r.payload.get("incident") == incident_id
+            for r in self.journal.records
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, incident: Incident):
+        """Generator: run (or resume) the incident's runbook to completion.
+
+        Raises :class:`IncidentError` when a step exhausts its retries;
+        lets :class:`~repro.errors.ControllerCrashError` propagate — a
+        dead controller journals nothing further, and a successor calls
+        :meth:`execute` again to resume from the last committed step.
+        """
+        steps = self.runbook.get(incident.klass)
+        if steps is None:
+            raise IncidentError(
+                f"no runbook for incident class {incident.klass!r}"
+            )
+        if self.resolved(incident.incident_id):
+            incident.status = RESOLVED
+            return incident
+        committed = self.committed_steps(incident.incident_id)
+        if not committed:
+            self.journal.append(
+                "incident-open",
+                incident=incident.incident_id,
+                klass=incident.klass,
+                links=sorted(incident.links),
+                hosts=sorted(incident.hosts),
+                jobs=sorted(incident.jobs),
+                opened_at=incident.opened_at,
+                first_anomaly_at=incident.first_anomaly_at,
+            )
+        incident.status = REMEDIATING
+        self.cluster.trace(
+            "incident", "remediation_started",
+            incident=incident.incident_id, klass=incident.klass,
+            resumed_from_step=len(committed),
+        )
+        for index, step in enumerate(steps):
+            if index in committed:
+                incident.actions.append(f"{step.action} (recovered: skipped)")
+                continue
+            self.journal.append(
+                "incident-action-intent",
+                incident=incident.incident_id, step=index, action=step.action,
+            )
+            # Crash-injection site: a controller death here leaves intent
+            # without commit, so the successor re-runs this step.
+            yield from self.cluster.faults.perturb(f"incident.action.{step.action}")
+            yield from self._run_step(incident, index, step)
+            self.journal.append(
+                "incident-action-commit",
+                incident=incident.incident_id, step=index, action=step.action,
+            )
+            self.executed.append((incident.incident_id, index, step.action))
+            incident.actions.append(step.action)
+            if step.restores_service and incident.remediated_at is None:
+                incident.remediated_at = self.env.now
+                self.cluster.trace(
+                    "incident", "service_restored",
+                    incident=incident.incident_id,
+                    mttr_s=round(incident.mttr_s or 0.0, 3),
+                )
+        incident.status = RESOLVED
+        incident.resolved_at = self.env.now
+        self.journal.append("incident-resolved", incident=incident.incident_id)
+        self.cluster.trace(
+            "incident", "resolved", incident=incident.incident_id,
+            klass=incident.klass,
+        )
+        return incident
+
+    def _run_step(self, incident: Incident, index: int, step: RunbookStep):
+        if step.action not in self.actions:
+            raise IncidentError(f"unknown runbook action {step.action!r}")
+        last_err = ""
+        for _attempt in range(step.retries + 1):
+            proc = self.env.process(
+                self._action_proc(incident, step),
+                name=f"incident.{incident.incident_id}.{step.action}",
+            )
+            timeout = self.env.timeout(step.timeout_s)
+            try:
+                yield self.env.any_of([proc, timeout])
+            except ReproError as err:
+                last_err = str(err)
+                continue
+            if proc.is_alive:  # the timeout won the race
+                proc.interrupt("runbook step timeout")
+                last_err = f"timed out after {step.timeout_s:g}s"
+                continue
+            return
+        raise IncidentError(
+            f"runbook action {step.action!r} (step {index}) failed after "
+            f"{step.retries + 1} attempt(s): {last_err}"
+        )
+
+    def _action_proc(self, incident: Incident, step: RunbookStep):
+        fn = self.actions[step.action]
+        try:
+            result = fn(self, incident, dict(step.params))
+            if result is not None:
+                yield from result
+            else:
+                yield self.env.timeout(0.0)
+        except Interrupt:
+            return
+
+    # -- actions -----------------------------------------------------------------
+
+    def _act_blacklist_links(self, incident: Incident, params: dict) -> None:
+        self.orchestrator.planner.blacklist_links(sorted(incident.links))
+        self.cluster.trace(
+            "incident", "links_blacklisted",
+            incident=incident.incident_id, links=sorted(incident.links),
+        )
+
+    def _act_switch_postcopy(self, incident: Incident, params: dict) -> None:
+        mode = str(params.get("mode", "fallback"))
+        self._saved_policy.setdefault(
+            incident.incident_id, self.orchestrator.ninja.migration_policy
+        )
+        self.orchestrator.ninja.migration_policy = MigrationPolicy.adaptive(
+            postcopy=mode
+        )
+        self.cluster.trace(
+            "incident", "postcopy_switched",
+            incident=incident.incident_id, mode=mode,
+        )
+
+    def _act_raise_floor(self, incident: Incident, params: dict) -> None:
+        floor = float(params.get("floor_Bps", 50e6))  # type: ignore[arg-type]
+        config = self.orchestrator.config
+        self._saved_floor.setdefault(
+            incident.incident_id, config.viability_floor_Bps
+        )
+        config.viability_floor_Bps = max(config.viability_floor_Bps or 0.0, floor)
+        self.cluster.trace(
+            "incident", "viability_floor_raised",
+            incident=incident.incident_id, floor_Bps=config.viability_floor_Bps,
+        )
+
+    def _act_evacuate_affected(self, incident: Incident, params: dict):
+        """Cancel doomed requests, evacuate their jobs around the cut."""
+        orch = self.orchestrator
+        jobs = set(incident.jobs)
+        for request in orch.affected_requests(sorted(incident.links)):
+            jobs.add(request.job_id)
+            if request.status == PENDING:
+                orch.cancel(
+                    request, reason=f"incident-{incident.incident_id}: "
+                    f"{incident.klass} severed the planned path",
+                )
+            elif request.status == RUNNING:
+                # The transactional abort path will roll it back; stop it
+                # from retrying a destination the evacuation supersedes.
+                request.max_attempts = request.attempts
+        # Requests that already failed ("no feasible placement") before
+        # remediation won the race still leave their jobs stranded.
+        for request in orch.requests:
+            if request.status == FAILED and request.job_id in incident.jobs:
+                jobs.add(request.job_id)
+        submitted = self.evacuations.setdefault(incident.incident_id, [])
+        for job_id in sorted(jobs):
+            if any(
+                r.kind == "evacuate" and not r.terminal
+                for r in orch.requests
+                if r.job_id == job_id
+            ):
+                continue
+            request = orch.submit(
+                job_id, kind="evacuate",
+                priority=orch.config.evacuation_priority,
+            )
+            request.blacklist.update(
+                self._unreachable_hosts(job_id, incident.links)
+            )
+            submitted.append(request)
+        self.cluster.trace(
+            "incident", "evacuations_submitted",
+            incident=incident.incident_id, jobs=sorted(jobs),
+            requests=[r.request_id for r in submitted],
+        )
+        for request in list(submitted):
+            if not request.terminal and request.done is not None:
+                yield request.done
+        bad = [r for r in submitted if r.status != COMPLETED]
+        if bad:
+            raise IncidentError(
+                f"evacuation failed for {sorted(r.job_id for r in bad)}"
+            )
+        yield self.env.timeout(0.0)
+
+    def _act_evacuate_host(self, incident: Incident, params: dict):
+        orch = self.orchestrator
+        submitted = self.evacuations.setdefault(incident.incident_id, [])
+        for host in sorted(incident.hosts):
+            for record in orch.store.jobs_on(host):
+                if any(
+                    r.kind == "evacuate" and not r.terminal
+                    for r in orch.requests
+                    if r.fleet_job is record
+                ):
+                    continue
+                submitted.append(
+                    orch.submit(
+                        record.job_id, kind="evacuate",
+                        priority=orch.config.evacuation_priority,
+                    )
+                )
+        for request in list(submitted):
+            if not request.terminal and request.done is not None:
+                yield request.done
+        bad = [r for r in submitted if r.status != COMPLETED]
+        if bad:
+            raise IncidentError(
+                f"evacuation failed for {sorted(r.job_id for r in bad)}"
+            )
+        yield self.env.timeout(0.0)
+
+    def _act_await_heal(self, incident: Incident, params: dict):
+        recheck_s = float(params.get("recheck_s", 1.0))  # type: ignore[arg-type]
+        max_wait_s = float(params.get("max_wait_s", 600.0))  # type: ignore[arg-type]
+        waited = 0.0
+        while not self._links_healthy(incident.links):
+            if waited >= max_wait_s:
+                raise IncidentError(
+                    f"links {sorted(incident.links)} did not heal within "
+                    f"{max_wait_s:g}s"
+                )
+            yield self.env.timeout(recheck_s)
+            waited += recheck_s
+        self.cluster.trace(
+            "incident", "links_healed",
+            incident=incident.incident_id, links=sorted(incident.links),
+            waited_s=round(waited, 3),
+        )
+
+    def _act_readmit(self, incident: Incident, params: dict) -> None:
+        orch = self.orchestrator
+        orch.planner.unblacklist_links(sorted(incident.links))
+        if incident.incident_id in self._saved_floor:
+            orch.config.viability_floor_Bps = self._saved_floor.pop(
+                incident.incident_id
+            )  # type: ignore[assignment]
+        if incident.incident_id in self._saved_policy:
+            orch.ninja.migration_policy = self._saved_policy.pop(
+                incident.incident_id
+            )  # type: ignore[assignment]
+        orch.nudge()
+        self.cluster.trace(
+            "incident", "readmitted",
+            incident=incident.incident_id, links=sorted(incident.links),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _links_healthy(self, names) -> bool:
+        fabric = self.cluster.eth_fabric
+        if fabric is None:
+            return True
+        for link in fabric.topology.links():
+            if link.name in names and (not link.up or link.degraded):
+                return False
+        return True
+
+    def _unreachable_hosts(self, job_id: str, cut_links) -> Set[str]:
+        """Hosts whose path from the job would cross the severed links."""
+        fabric = self.cluster.eth_fabric
+        if fabric is None:
+            return set()
+        topology = fabric.topology
+        record = self.orchestrator.store.job(job_id)
+        srcs = record.hosts()
+        unreachable: Set[str] = set()
+        for dst in self.cluster.nodes:
+            if dst in srcs:
+                continue
+            for src in srcs:
+                try:
+                    path = topology.path(src, dst)
+                except NetworkError:
+                    unreachable.add(dst)
+                    break
+                if any(dlink.link.name in cut_links for dlink in path):
+                    unreachable.add(dst)
+                    break
+        return unreachable
+
+
+__all__ = ["RunbookStep", "RunbookExecutor", "DEFAULT_RUNBOOK"]

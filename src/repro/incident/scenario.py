@@ -1,0 +1,327 @@
+"""The fiber-cut drill behind ``repro incident`` and BENCH_incident.json.
+
+Same two-site estate as the fleet scenario — IB blades draining onto an
+Ethernet estate whose far half sits behind a thin WAN pipe — plus a few
+*spare* hosts in the primary enclosure (evacuation headroom), a
+heartbeat mesh, and the full incident-response stack.  ``cut_at_s``
+seconds into the drain the WAN fiber goes dark for ``heal_after_s``
+seconds, killing whatever migration is mid-flight over it.
+
+With ``autonomous=True`` the :class:`~repro.incident.manager.IncidentManager`
+must detect the cut from telemetry, classify it ``fiber-cut``, and run
+the runbook: blacklist the severed links, switch retried sequences to
+postcopy-fallback, raise the viability floor, evacuate the stranded jobs
+around the cut, wait for the heal, and re-admit — with zero lost VMs.
+``autonomous=False`` is the baseline: same cut, diagnosis only, and the
+jobs whose destinations died stay failed.
+
+``crash_during_remediation=True`` additionally kills the controller at
+the evacuation step (after the journal intent, before the action); the
+driver then builds a *successor* manager over the same journal and
+:meth:`~repro.incident.manager.IncidentManager.resume` must finish the
+runbook without double-executing any committed step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ControllerCrashError
+from repro.hardware.cluster import Cluster
+from repro.incident.correlator import RESOLVED
+from repro.incident.manager import IncidentManager
+from repro.network.degradation import DegradationEvent, NetworkChaos
+from repro.orchestrator.executor import FleetConfig, FleetOrchestrator
+from repro.orchestrator.scenario import _provision_fleet
+from repro.recovery.failure_detector import HeartbeatMonitor
+from repro.sim.trace import Tracer
+from repro.units import gbps
+
+#: Crash-injection site used by ``crash_during_remediation`` (the
+#: evacuation is the long-running, most-interruptible runbook step).
+CRASH_SITE = "incident.action.evacuate-affected"
+
+
+@dataclass
+class IncidentScenarioResult:
+    """Everything ``repro incident`` prints and BENCH_incident.json records."""
+
+    jobs: int
+    vms_per_job: int
+    autonomous: bool
+    cut_at_s: float
+    heal_after_s: float
+    #: Diagnosis: the classified incidents (``Incident.to_dict`` payloads).
+    incidents: List[Dict[str, object]] = field(default_factory=list)
+    incident_class: str = ""
+    mttd_s: Optional[float] = None
+    mttr_s: Optional[float] = None
+    alerts: int = 0
+    all_resolved: bool = False
+    #: Request outcomes (spread drain + evacuations + retries).
+    completed: int = 0
+    aborted: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    evacuated_jobs: List[str] = field(default_factory=list)
+    outcomes: List[Dict[str, object]] = field(default_factory=list)
+    #: VMs left parked (lost) at the end — the headline must be empty.
+    lost_vms: List[str] = field(default_factory=list)
+    actions: List[str] = field(default_factory=list)
+    #: Crash drill bookkeeping.
+    crash_injected: bool = False
+    crashed: bool = False
+    resumed_incidents: int = 0
+    #: (incident, step, action) triples executed more than once across
+    #: the dead and successor controllers — must stay empty.
+    double_executed: List[List[object]] = field(default_factory=list)
+    makespan_s: float = 0.0
+    final_hosts: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def build_incident_cluster(
+    nvms: int,
+    spares: int = 2,
+    wan_gbps: float = 1.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> Cluster:
+    """The fleet-scenario estate plus ``spares`` empty primary-site hosts.
+
+    The spares (``sp01``…) give the runbook somewhere local to evacuate
+    to while the WAN — and with it half the Ethernet estate — is dark.
+    """
+    if nvms < 2:
+        raise ValueError("incident scenario needs at least 2 VMs")
+    cluster = Cluster(seed=seed, tracer=tracer)
+    ib_names = [f"ib{i + 1:02d}" for i in range(nvms)]
+    eth_names = [f"eth{i + 1:02d}" for i in range(nvms)]
+    spare_names = [f"sp{i + 1:02d}" for i in range(spares)]
+    local_eth = eth_names[: (nvms + 1) // 2]
+    remote_eth = eth_names[(nvms + 1) // 2:]
+    for name in ib_names + eth_names + spare_names:
+        cluster.add_node(name)
+    cluster.wire_ethernet(
+        sites={
+            "primary": ib_names + local_eth + spare_names,
+            "backup": remote_eth,
+        },
+        wan_bandwidth_Bps=gbps(wan_gbps),
+        wan_latency_s=5e-3,
+    )
+    cluster.wire_infiniband(ib_names)
+    return cluster
+
+
+def run_incident_scenario(
+    jobs: int = 4,
+    vms_per_job: int = 1,
+    spares: int = 2,
+    cut_at_s: float = 6.0,
+    heal_after_s: float = 120.0,
+    autonomous: bool = True,
+    crash_during_remediation: bool = False,
+    wan_gbps: float = 1.0,
+    tenants: int = 2,
+    link_budget_s: Optional[float] = 30.0,
+    heartbeat_period_s: float = 0.5,
+    probe_period_s: float = 0.25,
+    max_runtime_s: float = 900.0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    manager_out: Optional[list] = None,
+    orchestrator_out: Optional[list] = None,
+) -> IncidentScenarioResult:
+    """Drain the fleet, cut the WAN fiber mid-drain, and report how the
+    incident-response stack (or its absence) handled it.
+
+    ``manager_out``/``orchestrator_out``, when given, receive the live
+    :class:`IncidentManager` objects (dead then successor, in order) and
+    the :class:`FleetOrchestrator` for tests that inspect internals.
+    """
+    nvms = jobs * vms_per_job
+    cluster = build_incident_cluster(
+        nvms, spares=spares, wan_gbps=wan_gbps, seed=seed, tracer=tracer
+    )
+    env = cluster.env
+    if crash_during_remediation:
+        cluster.faults.arm(
+            CRASH_SITE,
+            error=ControllerCrashError("injected crash mid-remediation"),
+        )
+
+    config = FleetConfig(link_budget_s=link_budget_s)
+    orch = FleetOrchestrator(cluster, config=config)
+    if orchestrator_out is not None:
+        orchestrator_out.append(orch)
+
+    records = _provision_fleet(cluster, jobs, vms_per_job, tenants)
+    for job_id, tenant, job, qemus, _ in records:
+        orch.register_job(job_id, job, qemus, tenant=tenant)
+
+    # Heartbeat mesh: every node beats; phi feeds both the legacy
+    # HealthMonitor evacuation path and the incident telemetry probe.
+    monitor = HeartbeatMonitor(cluster)
+    for node in cluster.nodes:
+        env.process(
+            monitor.emit_heartbeats(node, heartbeat_period_s),
+            name=f"heartbeat.{node}",
+        )
+    monitor.start()
+    orch.watch(monitor.health)
+
+    manager = IncidentManager(
+        cluster,
+        orch,
+        heartbeats=monitor,
+        probe_period_s=probe_period_s,
+        autonomous=autonomous,
+    )
+    manager.start()  # pre-cut samples let EWMA baselines learn "healthy"
+    managers = [manager]
+    if manager_out is not None:
+        manager_out.append(manager)
+
+    chaos = NetworkChaos(
+        cluster,
+        [
+            DegradationEvent(
+                at_time=cut_at_s,
+                kind="drop",
+                duration_s=heal_after_s,
+                link_pattern="wan:*",
+            )
+        ],
+    )
+
+    start_at = env.now + 1.0
+
+    def _submit_all():
+        yield env.timeout(start_at - env.now)
+        # The chaos clock starts with the drain: the fiber dies
+        # ``cut_at_s`` seconds into the migration traffic.
+        chaos.start()
+        for job_id, _, _, _, dst_hosts in records:
+            orch.submit(job_id, kind="spread", dst_hosts=dst_hosts)
+
+    env.process(_submit_all(), name="incident.submit")
+    env.run(until=start_at + 0.001)
+
+    def _all_incidents():
+        # Latest manager wins: a successor's rebuilt incident supersedes
+        # the dead manager's (forever-REMEDIATING) copy of the same id.
+        by_id: Dict[int, object] = {}
+        for m in managers:
+            for incident in m.incidents:
+                by_id[incident.incident_id] = incident
+        return [by_id[iid] for iid in sorted(by_id)]
+
+    def _done() -> bool:
+        if not all(r.terminal for r in orch.requests):
+            return False
+        if crash_during_remediation and not manager.crashed:
+            return False  # the armed crash has not fired yet
+        incidents = _all_incidents()
+        if autonomous:
+            # Converged once the cut was diagnosed and fully remediated.
+            return bool(incidents) and all(
+                i.status == RESOLVED for i in incidents
+            )
+        # Diagnosis-only baseline: give detection time to open the
+        # incident after the last request settles.
+        return bool(incidents) and env.now >= start_at + cut_at_s + 5.0
+
+    deadline = start_at + max_runtime_s
+    resumed_count = 0
+    while env.now < deadline and not _done():
+        if (
+            crash_during_remediation
+            and manager.crashed
+            and len(managers) == 1
+        ):
+            # The dead controller stops observing; a successor rebuilds
+            # the incident from the journal and finishes the runbook.
+            manager.stop()
+            successor = IncidentManager(
+                cluster,
+                orch,
+                heartbeats=monitor,
+                probe_period_s=probe_period_s,
+                autonomous=True,
+            )
+            successor.start()
+            resumed_count = len(successor.resume())
+            managers.append(successor)
+            if manager_out is not None:
+                manager_out.append(successor)
+        env.run(until=env.now + 0.5)
+
+    unique_incidents = _all_incidents()
+
+    executed: List[tuple] = []
+    for m in managers:
+        executed.extend(m.executor.executed)
+    doubles = sorted(
+        {item for item in executed if executed.count(item) > 1}
+    )
+
+    primary = unique_incidents[0] if unique_incidents else None
+    statuses = [r.status for r in orch.requests]
+    all_qemus = [q for _, _, _, qemus, _ in records for q in qemus]
+    return IncidentScenarioResult(
+        jobs=jobs,
+        vms_per_job=vms_per_job,
+        autonomous=autonomous,
+        cut_at_s=cut_at_s,
+        heal_after_s=heal_after_s,
+        incidents=[i.to_dict() for i in unique_incidents],
+        incident_class=primary.klass if primary is not None else "",
+        mttd_s=round(primary.mttd_s, 4) if primary is not None else None,
+        mttr_s=(
+            round(primary.mttr_s, 4)
+            if primary is not None and primary.mttr_s is not None
+            else None
+        ),
+        alerts=sum(len(m.alerts) for m in managers),
+        all_resolved=bool(unique_incidents)
+        and all(i.status == RESOLVED for i in unique_incidents),
+        completed=statuses.count("completed"),
+        aborted=statuses.count("aborted"),
+        failed=statuses.count("failed"),
+        cancelled=statuses.count("cancelled"),
+        evacuated_jobs=sorted(
+            {
+                r.job_id
+                for r in orch.requests
+                if r.kind == "evacuate" and r.status == "completed"
+            }
+        ),
+        outcomes=[
+            {
+                "request": r.request_id,
+                "job": r.job_id,
+                "kind": r.kind,
+                "status": r.status,
+                "attempts": r.attempts,
+                "error": r.error,
+            }
+            for r in orch.requests
+        ],
+        lost_vms=sorted(
+            q.vm.name for q in all_qemus if q.vm.hypercall.parked
+        ),
+        actions=list(primary.actions) if primary is not None else [],
+        crash_injected=crash_during_remediation,
+        crashed=manager.crashed,
+        resumed_incidents=resumed_count,
+        double_executed=[list(item) for item in doubles],
+        makespan_s=round(env.now - start_at, 3),
+        final_hosts={
+            job_id: [q.node.name for q in qemus]
+            for job_id, _, _, qemus, _ in records
+        },
+    )

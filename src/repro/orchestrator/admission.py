@@ -37,8 +37,9 @@ RUNNING = "running"
 COMPLETED = "completed"
 ABORTED = "aborted"      # terminal: retries exhausted, VMs back at origin
 FAILED = "failed"        # terminal: unrecoverable (rollback failed / no placement)
+CANCELLED = "cancelled"  # terminal: withdrawn by the operator / incident response
 
-TERMINAL_STATES = (COMPLETED, ABORTED, FAILED)
+TERMINAL_STATES = (COMPLETED, ABORTED, FAILED, CANCELLED)
 
 
 @dataclass(eq=False)
@@ -129,7 +130,11 @@ class AdmissionController:
 
     @property
     def pending(self) -> List[MigrationRequest]:
-        return [entry[2] for entry in sorted(self._heap)]
+        # Terminal entries (cancelled while queued) stay in the heap until
+        # select() pops them; they are no longer pending work.
+        return [
+            entry[2] for entry in sorted(self._heap) if not entry[2].terminal
+        ]
 
     def submit(self, request: MigrationRequest, requeue: bool = False) -> None:
         if request.terminal:

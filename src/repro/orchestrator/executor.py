@@ -49,6 +49,7 @@ from repro.errors import (
 from repro.recovery.journal import MigrationJournal
 from repro.orchestrator.admission import (
     ABORTED,
+    CANCELLED,
     COMPLETED,
     FAILED,
     PENDING,
@@ -57,7 +58,7 @@ from repro.orchestrator.admission import (
     MigrationRequest,
 )
 from repro.orchestrator.placement import PlacementEngine
-from repro.orchestrator.planner import PlannedMigration, WavePlanner
+from repro.orchestrator.planner import PlannedMigration, WavePlanner, migration_links
 from repro.orchestrator.state import FleetJob, FleetStateStore
 from repro.sim.events import Event
 
@@ -238,6 +239,65 @@ class FleetOrchestrator:
                 priority=self.config.evacuation_priority,
             )
 
+    # -- incident-response integration --------------------------------------------------
+
+    def nudge(self) -> None:
+        """Public kick: restart/wake the scan loop (incident readmission)."""
+        self._ensure_loop()
+        self._kick()
+
+    def cancel(self, request: MigrationRequest, reason: str = "") -> bool:
+        """Withdraw a queued (not yet running) request.
+
+        Incident remediation cancels requests whose explicit destinations
+        became unreachable and resubmits them as evacuations.  Running
+        sequences are left alone — the transactional Ninja abort path
+        already rolls those back.  Returns ``True`` if the request was
+        cancelled.
+        """
+        if request.terminal or request.status == RUNNING:
+            return False
+        # The heap entry stays; select() skips terminal requests.
+        self._finish(request, CANCELLED, error=reason)
+        self._kick()
+        return True
+
+    def affected_requests(self, link_names: Sequence[str]) -> List[MigrationRequest]:
+        """Requests whose migration traffic depends on the named links.
+
+        Blast-radius probe for the incident correlator: running requests
+        whose claimed footprint crosses an affected link, plus pending
+        requests that can no longer route (or whose route crosses one).
+        """
+        names = set(link_names)
+        affected: List[MigrationRequest] = []
+        for request, item in self._running_footprint.items():
+            if any(dlink.link.name in names for dlink in item.links):
+                affected.append(request)
+        for request in self.admission.pending:
+            if request.defer_reason in ("degraded-link", "no-placement"):
+                affected.append(request)
+            elif self._route_crosses(request, names):
+                affected.append(request)
+        return affected
+
+    def _route_crosses(self, request: MigrationRequest, names: set) -> bool:
+        """Best-effort: would this pending request's traffic cross ``names``?"""
+        if self.cluster.eth_fabric is None or not request.dst_hosts:
+            return False
+        topology = self.cluster.eth_fabric.topology
+        for src in request.fleet_job.hosts():
+            for dst in request.dst_hosts:
+                if src == dst:
+                    continue
+                try:
+                    path = topology.path(src, dst)
+                except NetworkError:
+                    return True  # unroutable already
+                if any(dlink.link.name in names for dlink in path):
+                    return True
+        return False
+
     # -- completion observation ---------------------------------------------------------
 
     @property
@@ -310,6 +370,8 @@ class FleetOrchestrator:
 
     def _fail_stuck_requests(self) -> None:
         for request in self.admission.pending:
+            if request.terminal:
+                continue
             self._finish(
                 request,
                 FAILED,
@@ -336,12 +398,21 @@ class FleetOrchestrator:
                 self.admission.stats.defer("no-placement")
                 self.admission.submit(request, requeue=True)
                 continue
-            if self._below_viability(plan):
+            if self._below_viability(plan) or self._crosses_blacklist(plan):
                 request.defer_reason = "degraded-link"
                 self.admission.stats.defer("degraded-link")
                 self.admission.submit(request, requeue=True)
                 continue
-            item = PlannedMigration(plan).refresh(self.cluster)
+            try:
+                item = PlannedMigration(plan).refresh(self.cluster)
+            except NetworkError as err:
+                # No route mid-outage (and no viability floor armed to
+                # catch it earlier): defer, don't crash the scan loop.
+                request.defer_reason = "degraded-link"
+                request.error = str(err)
+                self.admission.stats.defer("degraded-link")
+                self.admission.submit(request, requeue=True)
+                continue
             planned.append(item)
             by_item[item] = request
 
@@ -433,6 +504,21 @@ class FleetOrchestrator:
             if bottleneck < floor:
                 return True
         return False
+
+    def _crosses_blacklist(self, plan: MigrationPlan) -> bool:
+        """True when the plan's footprint touches a blacklisted link.
+
+        Deferred under the same ``"degraded-link"`` reason as the
+        viability floor so the request rides the degraded re-probe loop
+        and starts once the incident response lifts the blacklist.
+        """
+        if not self.planner.blacklisted:
+            return False
+        try:
+            links = migration_links(self.cluster, plan)
+        except NetworkError:
+            return True  # unroutable — treat like a degraded path
+        return self.planner.crosses_blacklist(links)
 
     def _over_budget(self, item: PlannedMigration, loads: Dict[object, float]) -> bool:
         budget_s = self.config.link_budget_s

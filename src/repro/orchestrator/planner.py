@@ -108,6 +108,28 @@ class WavePlanner:
         self.max_swap_rounds = max_swap_rounds
         #: Destination swaps applied by the last :meth:`destination_swap`.
         self.swaps_applied = 0
+        #: Link *names* declared unusable (incident response).  Plans whose
+        #: footprint crosses a blacklisted link are never startable.
+        self.blacklisted: set[str] = set()
+
+    # -- link blacklisting ---------------------------------------------------------
+
+    def blacklist_links(self, names: Sequence[str]) -> None:
+        """Mark links unusable for planning until unblacklisted."""
+        self.blacklisted.update(names)
+
+    def unblacklist_links(self, names: Optional[Sequence[str]] = None) -> None:
+        """Clear the given link names (or the whole blacklist)."""
+        if names is None:
+            self.blacklisted.clear()
+        else:
+            self.blacklisted.difference_update(names)
+
+    def crosses_blacklist(self, links: FrozenSet["DirectedLink"]) -> bool:
+        """Does this footprint touch any blacklisted link?"""
+        if not self.blacklisted:
+            return False
+        return any(dlink.link.name in self.blacklisted for dlink in links)
 
     # -- analysis ------------------------------------------------------------------
 

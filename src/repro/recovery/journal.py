@@ -43,6 +43,14 @@ Record kinds
     FleetStateStore capacity claims keyed by request id and plan label.
 ``recovery-begin`` / ``recovery-decision`` / ``recovery-complete``
     The recovery pass documents itself in the same journal.
+``incident-open`` / ``incident-resolved``
+    An :class:`~repro.incident.correlator.Incident` entered / left
+    remediation (class, links, hosts, jobs in the payload).
+``incident-action-intent`` / ``incident-action-commit``
+    One runbook step is about to run / has finished (``step`` index and
+    ``action`` name).  A successor controller re-runs any step with an
+    intent but no commit and skips committed ones — the incident
+    analogue of the phase-level intent/commit discipline above.
 
 Persistence is JSON Lines: one record per line, appended with an
 explicit flush so a crash loses at most the record being written —

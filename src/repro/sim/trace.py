@@ -9,7 +9,8 @@ paper's figures report (hotplug / link-up / migration / application).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,12 @@ class Tracer:
         If given, only these categories are recorded.
     sink:
         Optional callable invoked with each record (e.g. ``print``).
+
+    Live consumers (the incident-response :class:`~repro.incident.telemetry.TelemetryBus`)
+    attach via :meth:`subscribe` and receive each record as it is emitted,
+    so they never re-scan ``records`` history.  Subscription dispatch is
+    skipped entirely while no subscriber is registered, keeping the hot
+    write path a bare list append.
     """
 
     def __init__(
@@ -50,6 +57,30 @@ class Tracer:
         self.categories = categories
         self.sink = sink
         self.records: list[TraceRecord] = []
+        # (pattern, callback) pairs; patterns glob against "category.event".
+        self._subscribers: list[tuple[str, Callable[[TraceRecord], None]]] = []
+
+    def subscribe(
+        self, pattern: str, callback: Callable[[TraceRecord], None]
+    ) -> Callable[[], None]:
+        """Invoke ``callback`` for every future record matching ``pattern``.
+
+        ``pattern`` is a glob matched against ``"{category}.{event}"``
+        (e.g. ``"chaos.*"``, ``"migration.round"``, ``"*"``).  Only records
+        emitted *after* subscribing are delivered — consumers that need
+        history walk :attr:`records` once at attach time.  Returns an
+        unsubscribe callable.
+        """
+        entry = (pattern, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
 
     def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
         """Record one entry (no-op when disabled or filtered out)."""
@@ -59,8 +90,44 @@ class Tracer:
             return
         record = TraceRecord(time=time, category=category, event=event, fields=fields)
         self.records.append(record)
+        if self._subscribers:
+            self._dispatch(record)
         if self.sink is not None:
             self.sink(record)
+
+    def emit_batch(
+        self, time: float, category: str, entries: Iterable[tuple[str, dict]]
+    ) -> int:
+        """Record many same-category entries in one call; returns the count.
+
+        Batching amortizes the per-call filter checks for hot producers
+        (per-link telemetry probes sample every link each tick).  Each
+        entry is an ``(event, fields)`` pair; subscribers still see every
+        record individually.
+        """
+        if not self.enabled:
+            return 0
+        if self.categories is not None and category not in self.categories:
+            return 0
+        batch = [
+            TraceRecord(time=time, category=category, event=event, fields=fields)
+            for event, fields in entries
+        ]
+        self.records.extend(batch)
+        if self._subscribers:
+            for record in batch:
+                self._dispatch(record)
+        if self.sink is not None:
+            for record in batch:
+                self.sink(record)
+        return len(batch)
+
+    def _dispatch(self, record: TraceRecord) -> None:
+        topic = f"{record.category}.{record.event}"
+        # Snapshot: a callback may unsubscribe (itself or others) mid-dispatch.
+        for pattern, callback in list(self._subscribers):
+            if fnmatchcase(topic, pattern):
+                callback(record)
 
     def select(
         self, category: Optional[str] = None, event: Optional[str] = None

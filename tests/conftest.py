@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import signal
+import threading
 
 import pytest
 
@@ -26,6 +28,38 @@ try:
     hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 except ImportError:  # pragma: no cover - hypothesis is an optional test dep
     pass
+
+
+#: Per-test wall-clock budget (seconds); 0 disables the guard.  A wedged
+#: simulation (event-loop livelock, runaway chaos revert) otherwise stalls
+#: the whole CI job until the runner's global timeout.
+TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    """SIGALRM-based per-test timeout (no pytest-timeout dependency)."""
+    if (
+        TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT_S={TEST_TIMEOUT_S:g}s: "
+            f"{request.node.nodeid}"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 @pytest.fixture

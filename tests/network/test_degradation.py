@@ -151,6 +151,88 @@ def test_chaos_start_relative_times(cluster):
     assert link.bandwidth_factor == 0.1
 
 
+def test_overlapping_events_compose_worst_case(cluster):
+    """Concurrent degradations on one link take min(bw)/max(loss)/max(lat),
+    and reverting one re-exposes the others — not last-writer-wins."""
+    env = cluster.env
+    link = cluster.eth_fabric.topology.link_between("ib01", "Dell M8024")
+    chaos = NetworkChaos(
+        cluster,
+        events=[
+            DegradationEvent(at_time=1.0, kind="bw", value=0.5,
+                             duration_s=10.0, link_pattern="ib01--*"),
+            DegradationEvent(at_time=2.0, kind="bw", value=0.2,
+                             duration_s=2.0, link_pattern="ib01--*"),
+            DegradationEvent(at_time=3.0, kind="loss", value=0.1,
+                             duration_s=10.0, link_pattern="ib01--*"),
+        ],
+    )
+    chaos.start()
+    env.run(until=1.5)
+    assert link.bandwidth_factor == 0.5
+    env.run(until=2.5)
+    assert link.bandwidth_factor == 0.2  # worst of {0.5, 0.2}
+    env.run(until=3.5)
+    assert link.bandwidth_factor == 0.2
+    assert link.loss == pytest.approx(0.1)
+    env.run(until=4.5)  # the 0.2 event reverted at t=4
+    assert link.bandwidth_factor == 0.5  # the longer event still holds
+    assert link.loss == pytest.approx(0.1)
+    env.run(until=14.0)  # everything reverted (loss expires at t=13)
+    assert not link.degraded
+    assert link.bandwidth_factor == 1.0
+    assert link.loss == 0.0
+
+
+def test_overlapping_drops_hold_link_down_until_last_reverts(cluster):
+    env = cluster.env
+    link = cluster.eth_fabric.topology.link_between("ib01", "Dell M8024")
+    chaos = NetworkChaos(
+        cluster,
+        events=[
+            DegradationEvent(at_time=1.0, kind="drop", duration_s=5.0,
+                             link_pattern="ib01--*"),
+            DegradationEvent(at_time=2.0, kind="drop", duration_s=8.0,
+                             link_pattern="ib01--*"),
+        ],
+    )
+    chaos.start()
+    env.run(until=3.0)
+    assert not link.up
+    env.run(until=7.0)  # first drop expired at t=6: second still holds
+    assert not link.up
+    env.run(until=11.0)  # second expired at t=10
+    assert link.up
+    events = [r.event for r in cluster.tracer.select("chaos")]
+    # One restore, not two; the early revert only logs a "hold".
+    assert events.count("restore") == 1
+    assert events.count("hold") == 1
+
+
+def test_drop_overlapping_degradation_restores_the_degradation(cluster):
+    """A drop nested inside a bw event: when the link comes back up it
+    must still carry the surviving bandwidth degradation."""
+    env = cluster.env
+    link = cluster.eth_fabric.topology.link_between("ib01", "Dell M8024")
+    chaos = NetworkChaos(
+        cluster,
+        events=[
+            DegradationEvent(at_time=1.0, kind="bw", value=0.4,
+                             duration_s=20.0, link_pattern="ib01--*"),
+            DegradationEvent(at_time=2.0, kind="drop", duration_s=3.0,
+                             link_pattern="ib01--*"),
+        ],
+    )
+    chaos.start()
+    env.run(until=3.0)
+    assert not link.up
+    env.run(until=6.0)  # drop reverted at t=5
+    assert link.up
+    assert link.bandwidth_factor == 0.4  # bw event survived the outage
+    env.run(until=22.0)
+    assert not link.degraded
+
+
 def test_chaos_unmatched_pattern_raises(cluster):
     chaos = NetworkChaos(
         cluster,
@@ -188,3 +270,33 @@ def test_parse_degrade_spec_drop_duration_and_pattern():
 def test_parse_degrade_spec_rejects_garbage(bad):
     with pytest.raises(NetworkError):
         parse_degrade_spec(bad)
+
+
+@pytest.mark.parametrize(
+    "bad, why",
+    [
+        ("", "empty"),
+        ("   ", "empty"),
+        ("drop=1@t=0", "takes no value"),
+        ("loss@t=1", "requires a value"),
+        ("bw@t=1+2", "requires a value"),
+        ("loss=1.5@t=0", "loss"),
+        ("bw=-0.5@t=0", "bandwidth"),
+        ("lat=-1@t=0", "latency"),
+        ("loss=0.1@t=1+0", "duration"),
+    ],
+)
+def test_parse_degrade_spec_error_messages(bad, why):
+    with pytest.raises(NetworkError, match=why):
+        parse_degrade_spec(bad)
+
+
+def test_degradation_event_validates_at_construction():
+    with pytest.raises(NetworkError, match="unknown degradation kind"):
+        DegradationEvent(at_time=0.0, kind="zap")
+    with pytest.raises(NetworkError, match="before t=0"):
+        DegradationEvent(at_time=-1.0, kind="drop")
+    with pytest.raises(NetworkError):
+        DegradationEvent(at_time=0.0, kind="loss", value=1.0)
+    with pytest.raises(NetworkError):
+        DegradationEvent(at_time=0.0, kind="drop", duration_s=0.0)

@@ -7,6 +7,7 @@ watches, and the orchestrator evacuates the node's VMs before the node
 is condemned."""
 
 from repro.core.fault_tolerance import Health, HealthMonitor
+from repro.network.degradation import DegradationEvent, NetworkChaos
 from repro.orchestrator.executor import FleetOrchestrator
 from repro.recovery.failure_detector import HeartbeatMonitor
 from repro.testbed import create_job, provision_vms
@@ -61,6 +62,61 @@ def test_heartbeat_loss_triggers_evacuation(cluster44):
     env.run(until=env.now + 120.0)
     assert health.state["ib01"] is Health.FAILED
     assert all(s is Health.OK for n, s in health.state.items() if n != "ib01")
+
+
+def test_evacuation_chain_survives_active_chaos(cluster44):
+    """The full chain — thinning heartbeats, then silence, then WARNING,
+    then evacuation — while chaos degrades the very links the evacuation
+    must cross.  The degraded network slows the move; it must not break
+    the chain or smear suspicion onto chatty-but-degraded nodes."""
+    env = cluster44.env
+    orch = FleetOrchestrator(cluster44)
+    health = HealthMonitor(cluster44)
+    orch.watch(health)
+    monitor = HeartbeatMonitor(cluster44, health=health, warn_phi=8.0,
+                               fail_phi=16.0)
+    monitor.start()
+    qemus = _register(orch, cluster44, "j0", ["ib01"])
+
+    chaos = NetworkChaos(
+        cluster44,
+        events=[
+            DegradationEvent(at_time=5.0, kind="bw", value=0.5,
+                             duration_s=300.0, link_pattern="eth01--*"),
+            DegradationEvent(at_time=5.0, kind="loss", value=0.1,
+                             duration_s=300.0, link_pattern="eth02--*"),
+        ],
+    )
+    chaos.start()
+
+    def flaky_then_dead():
+        for _ in range(10):
+            monitor.beat("ib01")
+            yield env.timeout(1.0)
+        for _ in range(5):  # partial delivery: only every third beat lands
+            monitor.beat("ib01")
+            yield env.timeout(3.0)
+        # then silence — the node is gone
+
+    env.process(flaky_then_dead(), name="hb.ib01")
+    for name in cluster44.nodes:
+        if name != "ib01":
+            env.process(monitor.emit_heartbeats(name, period_s=1.0),
+                        name=f"hb.{name}")
+
+    def experiment():
+        yield env.timeout(120.0)
+        yield orch.all_settled()
+
+    drive(env, experiment(), name="exp")
+
+    evacuations = [r for r in orch.requests if r.kind == "evacuate"]
+    assert len(evacuations) == 1
+    assert evacuations[0].status == "completed"
+    assert qemus[0].node.name != "ib01"
+    # Degraded-but-chatty nodes were never suspected: chaos on the data
+    # plane must not leak into the failure detector.
+    assert all(node == "ib01" for _, node, _, _ in monitor.transitions)
 
 
 def test_healthy_fleet_never_evacuates(cluster44):

@@ -100,6 +100,88 @@ def test_monitor_recovers_warning_but_never_failed():
     assert monitor.health.state["ib01"] is Health.FAILED
 
 
+def test_backwards_clock_jump_is_clamped():
+    det = PhiAccrualFailureDetector()
+    for t in (0.0, 1.0, 2.0):
+        det.heartbeat(t)
+    det.heartbeat(1.5)  # clock stepped backwards
+    assert det.intervals[-1] == 0.0  # clamped, not negative
+    assert det.phi(1.0) == 0.0  # elapsed clamped too
+    assert det.phi(2.5) >= 0.0
+
+
+def test_queued_burst_does_not_collapse_the_mean():
+    """A pause followed by the queued beats landing at one instant (the
+    delivery catch-up after a clock jump) must not teach the detector a
+    near-zero interval — that would make every later 1 s gap look fatal."""
+    det = PhiAccrualFailureDetector()
+    for t in range(40):
+        det.heartbeat(float(t))
+    for _ in range(10):
+        det.heartbeat(49.0)  # 10 s pause, then 10 queued beats at once
+    assert det.mean_interval_s > 0.5
+    assert det.phi(50.0) < 8.0  # a normal gap right after stays benign
+
+
+def test_thinned_heartbeats_adapt_without_transitions():
+    """Partial delivery (2 of 3 beats lost) stretches the observed
+    interval; the detector adapts instead of alarming."""
+    cluster = _cluster()
+    env = cluster.env
+    monitor = HeartbeatMonitor(cluster, warn_phi=8.0, fail_phi=16.0)
+    monitor.start()
+
+    def thinning():
+        for _ in range(20):
+            monitor.beat("ib01")
+            yield env.timeout(1.0)
+        while True:
+            monitor.beat("ib01")
+            yield env.timeout(3.0)
+
+    env.process(thinning(), name="hb.ib01")
+    for name in cluster.nodes:
+        if name != "ib01":
+            env.process(monitor.emit_heartbeats(name, period_s=1.0),
+                        name=f"hb.{name}")
+    env.run(until=120.0)
+    assert monitor.transitions == []
+
+
+def test_pause_resume_cycles_do_not_storm():
+    """Three identical pause/resume cycles: the first alarms once, and the
+    detector's widening interval window absorbs the repeats.  Crucially the
+    scan loop (running ~50 times per pause) reports *transitions*, never a
+    WARNING per scan."""
+    cluster = _cluster()
+    env = cluster.env
+    monitor = HeartbeatMonitor(cluster, warn_phi=8.0, fail_phi=16.0)
+    monitor.start()
+
+    def cyclic():
+        for _ in range(3):
+            for _ in range(15):
+                monitor.beat("ib01")
+                yield env.timeout(1.0)
+            yield env.timeout(25.0)  # WARNING territory, well below FAILED
+        while True:
+            monitor.beat("ib01")
+            yield env.timeout(1.0)
+
+    env.process(cyclic(), name="hb.ib01")
+    for name in cluster.nodes:
+        if name != "ib01":
+            env.process(monitor.emit_heartbeats(name, period_s=1.0),
+                        name=f"hb.{name}")
+    env.run(until=200.0)
+    states = [s for _, n, _, s in monitor.transitions if n == "ib01"]
+    assert states and states[0] is Health.WARNING
+    assert Health.FAILED not in states
+    assert states.count(Health.WARNING) <= 2  # adapted, not one per pause
+    assert len(states) <= 4  # and nothing like one per scan
+    assert monitor.health.state["ib01"] is Health.OK
+
+
 def test_monitor_feeds_existing_health_monitor():
     cluster = _cluster()
     health = HealthMonitor(cluster)

@@ -121,3 +121,109 @@ def test_tracer_jsonl_coerces_odd_values():
     tracer = Tracer()
     tracer.emit(0.0, "c", "e", thing=Odd())
     assert json.loads(tracer.to_jsonl())["thing"] == "odd!"
+
+
+# -- subscriptions --------------------------------------------------------------
+
+
+def test_subscribe_delivers_matching_records():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("migration.round", seen.append)
+    tracer.emit(1.0, "migration", "round", index=1)
+    tracer.emit(2.0, "migration", "start")
+    tracer.emit(3.0, "chaos", "round")
+    assert [(r.time, r.category) for r in seen] == [(1.0, "migration")]
+
+
+def test_subscribe_glob_patterns():
+    tracer = Tracer()
+    chaos, everything = [], []
+    tracer.subscribe("chaos.*", chaos.append)
+    tracer.subscribe("*", everything.append)
+    tracer.emit(1.0, "chaos", "drop")
+    tracer.emit(2.0, "migration", "round")
+    assert [r.event for r in chaos] == ["drop"]
+    assert [r.event for r in everything] == ["drop", "round"]
+
+
+def test_subscribe_only_sees_future_records():
+    tracer = Tracer()
+    tracer.emit(1.0, "c", "old")
+    seen = []
+    tracer.subscribe("*", seen.append)
+    tracer.emit(2.0, "c", "new")
+    assert [r.event for r in seen] == ["new"]
+
+
+def test_unsubscribe_stops_delivery_and_is_idempotent():
+    tracer = Tracer()
+    seen = []
+    unsubscribe = tracer.subscribe("*", seen.append)
+    tracer.emit(1.0, "c", "a")
+    unsubscribe()
+    unsubscribe()  # second call is harmless
+    tracer.emit(2.0, "c", "b")
+    assert [r.event for r in seen] == ["a"]
+
+
+def test_callback_may_unsubscribe_mid_dispatch():
+    tracer = Tracer()
+    seen = []
+    holder = {}
+
+    def once(record):
+        seen.append(record.event)
+        holder["off"]()
+
+    holder["off"] = tracer.subscribe("*", once)
+    tracer.emit(1.0, "c", "a")
+    tracer.emit(2.0, "c", "b")
+    assert seen == ["a"]
+
+
+def test_subscribers_respect_category_filter():
+    tracer = Tracer(categories={"keep"})
+    seen = []
+    tracer.subscribe("*", seen.append)
+    tracer.emit(1.0, "drop", "x")
+    tracer.emit(2.0, "keep", "y")
+    assert [r.event for r in seen] == ["y"]
+
+
+# -- batched emission -----------------------------------------------------------
+
+
+def test_emit_batch_records_and_counts():
+    tracer = Tracer()
+    n = tracer.emit_batch(
+        5.0, "telemetry", [("goodput", {"v": 1}), ("loss", {"v": 2})]
+    )
+    assert n == 2
+    assert [r.event for r in tracer.records] == ["goodput", "loss"]
+    assert all(r.time == 5.0 and r.category == "telemetry" for r in tracer.records)
+
+
+def test_emit_batch_respects_disable_and_filter():
+    off = Tracer(enabled=False)
+    assert off.emit_batch(0.0, "c", [("e", {})]) == 0
+    assert len(off) == 0
+    filtered = Tracer(categories={"keep"})
+    assert filtered.emit_batch(0.0, "drop", [("e", {})]) == 0
+    assert filtered.emit_batch(0.0, "keep", [("e", {})]) == 1
+
+
+def test_emit_batch_dispatches_each_record_to_subscribers():
+    tracer = Tracer()
+    seen, sunk = [], []
+    tracer.sink = sunk.append
+    tracer.subscribe("c.*", seen.append)
+    tracer.emit_batch(1.0, "c", [("a", {}), ("b", {})])
+    assert [r.event for r in seen] == ["a", "b"]
+    assert [r.event for r in sunk] == ["a", "b"]
+
+
+def test_emit_batch_empty_is_fine():
+    tracer = Tracer()
+    assert tracer.emit_batch(0.0, "c", []) == 0
+    assert len(tracer) == 0

@@ -138,6 +138,34 @@ def test_fleet_crash_drill_without_recovery_exits_two(capsys):
     assert "no recovery requested" in out
 
 
+def test_incident_autonomous_drill(capsys, tmp_path):
+    trace = tmp_path / "incident.jsonl"
+    assert main([
+        "incident", "--jobs", "2", "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "incident drill" in out
+    assert "fiber-cut" in out
+    assert "lost VMs:  none" in out
+    assert "blacklist-links" in out
+    assert trace.exists()
+
+
+def test_incident_baseline_diagnoses_only(capsys):
+    assert main(["incident", "--jobs", "2", "--no-autonomous"]) == 0
+    out = capsys.readouterr().out
+    assert "diagnosis only (baseline)" in out
+    assert "fiber-cut" in out
+    assert "MTTR=-" in out
+
+
+def test_incident_crash_drill_resumes(capsys):
+    assert main(["incident", "--jobs", "2", "--crash-during-remediation"]) == 0
+    out = capsys.readouterr().out
+    assert "crash armed mid-remediation: fired" in out
+    assert "double-executed steps: none" in out
+
+
 def test_demo_postcopy_always_flag(capsys):
     assert main(["demo", "--postcopy", "always"]) == 0
     out = capsys.readouterr().out
