@@ -20,6 +20,8 @@
     python -m repro incident [--jobs 4] [--vms-per-job 1] [--spares 2]
                            [--cut-at 6] [--heal-after 120] [--wan-gbps 1.0]
                            [--no-autonomous] [--crash-during-remediation]
+                           [--kill-host H] [--kill-at 12]
+                           [--checkpoint-period 20] [--crash-during-restore]
                            [--trace-out PATH]
 
 Each command prints the paper-vs-simulated comparison the matching
@@ -48,6 +50,19 @@ route around it with zero lost VMs.  ``--no-autonomous`` is the
 diagnosis-only baseline; ``--crash-during-remediation`` kills the
 controller mid-runbook and a successor resumes from the journal.  Exit
 status: 0 when no VM was lost and no request failed, 1 otherwise.
+
+Any of ``--kill-host``/``--kill-at``/``--checkpoint-period``/
+``--crash-during-restore`` switches ``incident`` to the *host-failure*
+drill instead: a fleet checkpoint service snapshots every eligible job
+each ``--checkpoint-period`` seconds while a host dies hard and
+unannounced mid-drain (``--kill-host`` names the victim; by default the
+drill waits for a host whose jobs all hold committed generations).  The
+runbook restores the dead VMs from their last committed checkpoint on
+leased spare capacity — the summary reports the measured RPO against
+the period bound and the restore RTO.  Adding ``--cut-at`` overlaps a
+fiber cut with the kill to exercise multi-incident spare arbitration;
+``--crash-during-restore`` kills the controller mid-restore and the
+successor must converge without double-restoring.
 
 Degraded-path flags (``demo``/``fleet``): ``--degrade`` schedules network
 chaos against the links matching ``--degrade-link`` — a comma-separated
@@ -397,6 +412,10 @@ def _cmd_fleet_crash(args: argparse.Namespace, tracer) -> int:
 
 
 def _cmd_incident(args: argparse.Namespace) -> int:
+    if (args.kill_host is not None or args.kill_at is not None
+            or args.checkpoint_period is not None or args.crash_during_restore):
+        return _cmd_host_failure(args)
+
     from repro.incident.scenario import run_incident_scenario
     from repro.sim.trace import Tracer
 
@@ -405,7 +424,7 @@ def _cmd_incident(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         vms_per_job=args.vms_per_job,
         spares=args.spares,
-        cut_at_s=args.cut_at,
+        cut_at_s=6.0 if args.cut_at is None else args.cut_at,
         heal_after_s=args.heal_after,
         autonomous=not args.no_autonomous,
         crash_during_remediation=args.crash_during_remediation,
@@ -443,6 +462,77 @@ def _cmd_incident(args: argparse.Namespace) -> int:
     if rows:
         print(render_table(
             ["incident", "class", "status", "MTTD [s]", "MTTR [s]", "links"],
+            rows, title="incidents",
+        ))
+    print(render_table(
+        ["job", "now on"],
+        [[job, " ".join(hosts)] for job, hosts in sorted(result.final_hosts.items())],
+        title="final placement",
+    ))
+    _save_trace(tracer, args.trace_out)
+    return 0 if not result.lost_vms and result.failed == 0 else 1
+
+
+def _cmd_host_failure(args: argparse.Namespace) -> int:
+    from repro.incident.scenario import run_host_failure_scenario
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    result = run_host_failure_scenario(
+        jobs=args.jobs,
+        vms_per_job=args.vms_per_job,
+        spares=args.spares,
+        kill_at_s=12.0 if args.kill_at is None else args.kill_at,
+        kill_host=args.kill_host,
+        checkpoint_period_s=(
+            20.0 if args.checkpoint_period is None else args.checkpoint_period
+        ),
+        cut_at_s=args.cut_at,
+        heal_after_s=args.heal_after,
+        autonomous=not args.no_autonomous,
+        crash_during_restore=args.crash_during_restore,
+        wan_gbps=args.wan_gbps,
+        tracer=tracer,
+    )
+    mode = "diagnosis only (baseline)" if args.no_autonomous else "autonomous"
+    print(f"host-failure drill — {result.jobs} jobs x {result.vms_per_job} "
+          f"VM(s), checkpoint period {result.checkpoint_period_s:.0f}s, {mode}")
+    killed = ("-" if result.killed_at_s is None
+              else f"t+{result.killed_at_s:.1f}s")
+    print(f"  kill:      {result.kill_host or '(none)'} at {killed} "
+          f"({len(result.vms_lost_at_kill)} VM(s) down with the host)")
+    if result.cut_at_s is not None:
+        print(f"  overlap:   WAN fiber cut at t+{result.cut_at_s:.0f}s "
+              f"(two concurrent incidents share the spare pool)")
+    if result.crash_injected:
+        crashed = "fired" if result.crashed else "never fired"
+        print(f"  controller crash armed at {result.crash_site}: {crashed}; "
+              f"successor resumed {result.resumed_incidents} incident(s), "
+              f"adopted VMs: {', '.join(result.adopted_vms) or 'none'}")
+    print(f"  checkpoints: {result.generations_committed} generation(s) "
+          f"committed, {result.checkpoint_skips} skip(s)")
+    rpo = "-" if result.rpo_s is None else f"{result.rpo_s:.2f}s"
+    rto = ("-" if result.restore_rto_s is None
+           else f"{result.restore_rto_s:.2f}s")
+    print(f"  RPO:       {rpo} (bound {result.rpo_bound_s:.0f}s)   "
+          f"restore RTO: {rto}")
+    print(f"  restored:  {', '.join(result.restored_jobs) or 'none'}; "
+          f"lost VMs: {', '.join(result.lost_vms) or 'none'}")
+    print(f"  outcomes:  {result.completed} completed, {result.failed} failed, "
+          f"{result.cancelled} cancelled, {result.stranded} stranded")
+    print(f"  makespan:  {result.makespan_s:.1f} s")
+    rows = [
+        [
+            str(i["incident"]), str(i["class"]), str(i["status"]),
+            "-" if i["mttd_s"] is None else f"{i['mttd_s']:.2f}",
+            "-" if i["mttr_s"] is None else f"{i['mttr_s']:.2f}",
+            " ".join(sorted(set(i["hosts"]) | set(i["suspect_hosts"]))) or "-",
+        ]
+        for i in result.incidents
+    ]
+    if rows:
+        print(render_table(
+            ["incident", "class", "status", "MTTD [s]", "MTTR [s]", "hosts"],
             rows, title="incidents",
         ))
     print(render_table(
@@ -562,8 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("--vms-per-job", type=int, default=1)
     pi.add_argument("--spares", type=int, default=2,
                     help="empty primary-site hosts (evacuation headroom)")
-    pi.add_argument("--cut-at", type=float, default=6.0, metavar="T",
-                    help="cut the WAN fiber T seconds into the drain")
+    pi.add_argument("--cut-at", type=float, default=None, metavar="T",
+                    help="cut the WAN fiber T seconds into the drain "
+                         "(default 6; in the host-failure drill the fiber "
+                         "is only cut when this flag is given)")
     pi.add_argument("--heal-after", type=float, default=120.0, metavar="D",
                     help="fiber stays dark for D seconds")
     pi.add_argument("--wan-gbps", type=float, default=1.0,
@@ -576,6 +668,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-during-remediation", action="store_true",
         help="kill the controller at the evacuation step; a successor "
              "resumes the runbook from the journal",
+    )
+    pi.add_argument(
+        "--kill-host", metavar="HOST", default=None,
+        help="host-failure drill: kill HOST hard and unannounced "
+             "(default: first host whose jobs all hold committed "
+             "checkpoint generations)",
+    )
+    pi.add_argument(
+        "--kill-at", type=float, default=None, metavar="T",
+        help="host-failure drill: earliest kill instant, T seconds into "
+             "the drain (default 12; the drill then waits for checkpoint "
+             "coverage before pulling the plug)",
+    )
+    pi.add_argument(
+        "--checkpoint-period", type=float, default=None, metavar="P",
+        help="host-failure drill: proactive fleet checkpoint period in "
+             "seconds — the RPO bound (default 20)",
+    )
+    pi.add_argument(
+        "--crash-during-restore", action="store_true",
+        help="host-failure drill: kill the controller at a "
+             "restore-journal boundary; a successor resumes without "
+             "double-restoring",
     )
     pi.add_argument(
         "--trace-out", metavar="PATH",

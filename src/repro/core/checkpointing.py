@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.phases import PhaseTimeline
 from repro.errors import SymVirtError
+from repro.network.fabric import PortState
 from repro.symvirt.controller import Controller
 from repro.vmm.snapshot import SnapshotStats, checkpoint_vm, restore_vm
 
@@ -42,6 +43,11 @@ class CheckpointResult:
     snapshots: Dict[str, SnapshotStats] = field(default_factory=dict)
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Simulated time at which the job was parked — the instant whose
+    #: state the images capture.  RPO accounting measures from here, not
+    #: from ``finished_at``: work done *after* the park is not in the
+    #: snapshot even though the write finishes later.
+    consistency_at: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -70,8 +76,23 @@ class ProactiveCheckpoint:
         qemus: Sequence["QemuProcess"],
         detach_tag: str = "vf0",
         request_checkpoint: bool = True,
+        image_suffix: str = "",
+        extra_meta: Optional[dict] = None,
+        warm_reattach: bool = False,
     ):
-        """Snapshot all ``qemus`` while the job is parked (generator)."""
+        """Snapshot all ``qemus`` while the job is parked (generator).
+
+        ``image_suffix`` lets callers keep multiple generations of the
+        same VM's image side by side (``vm.memsnap@g3``); ``extra_meta``
+        is merged into every stored image's metadata.
+
+        ``warm_reattach`` skips the subnet-manager sweep on re-attach:
+        an in-place checkpoint releases only the guest's VF — the
+        physical port never leaves the subnet, so unlike a cross-host
+        migration the re-plumbed function does not pay the ~30 s hot-plug
+        link training.  Periodic checkpoint schedules rely on this to
+        keep the per-tick outage to the snapshot write itself.
+        """
         env = self.env
         timeline = PhaseTimeline()
         t0 = env.now
@@ -82,6 +103,7 @@ class ProactiveCheckpoint:
             job.request_checkpoint()
         yield from ctl.wait_all()
         timeline.end("coordination", env.now)
+        consistency_at = env.now
 
         # Round A: release VMM-bypass devices (snapshots are blocked on
         # assigned devices, exactly like migration).
@@ -97,7 +119,10 @@ class ProactiveCheckpoint:
         snapshots: Dict[str, SnapshotStats] = {}
 
         def _snap(qemu: "QemuProcess"):
-            stats = yield from checkpoint_vm(qemu, self.store)
+            image_name = f"{qemu.vm.name}.memsnap{image_suffix}"
+            stats = yield from checkpoint_vm(
+                qemu, self.store, image_name=image_name, extra_meta=extra_meta
+            )
             snapshots[qemu.vm.name] = stats
 
         yield ctl._parallel(_snap(q) for q in qemus)
@@ -118,7 +143,10 @@ class ProactiveCheckpoint:
             assignment = qemu.assignments.get(detach_tag)
             if assignment is None or assignment.function.port is None:
                 raise SymVirtError(f"{qemu.vm.name}: re-attach left no port")
-            linkup_events.append(assignment.function.port.wait_active())
+            port = assignment.function.port
+            if warm_reattach and port.state is not PortState.ACTIVE:
+                port.fabric.force_active(port)
+            linkup_events.append(port.wait_active())
 
         yield from ctl.signal()
         timeline.begin("linkup", env.now)
@@ -132,6 +160,7 @@ class ProactiveCheckpoint:
             snapshots=snapshots,
             started_at=t0,
             finished_at=env.now,
+            consistency_at=consistency_at,
         )
         self.cluster.trace(
             "checkpoint", "completed",

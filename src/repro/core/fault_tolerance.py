@@ -27,6 +27,7 @@ from repro.core.plan import MigrationPlan
 from repro.core.scheduler import CloudScheduler
 from repro.errors import MigrationAbortedError, SchedulerError
 from repro.sim.events import Event
+from repro.vmm.vm import RunState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
@@ -134,6 +135,12 @@ class FaultToleranceManager:
             yield self.env.timeout(period_s)
             if self.job.live_ranks < self.job.size:
                 return
+            reason = self._skip_reason()
+            if reason is not None:
+                # Checkpointing a VM mid-migration (or one that no longer
+                # runs here) would capture a torn or stale image.
+                self.cluster.trace("ft", "checkpoint_skipped", reason=reason)
+                continue
             self.last_checkpoint = yield from self.checkpointer.execute(
                 self.job, self.qemus
             )
@@ -149,6 +156,24 @@ class FaultToleranceManager:
     def _vms_on(self, node: str) -> List["QemuProcess"]:
         return [q for q in self.qemus if q.node.name == node]
 
+    def _skip_reason(self) -> Optional[str]:
+        """Why the fleet cannot be checkpointed or evacuated right now.
+
+        Guards against racing a migration already in flight and against
+        acting on VMs that are gone — shut off with a dead host, or
+        superseded by a checkpoint restore that booted replacements
+        elsewhere (this manager still holds the stale handles).
+        """
+        for qemu in self.qemus:
+            migration = qemu.current_migration
+            if migration is not None and migration.stats.in_flight:
+                return f"{qemu.vm.name}: mid-migration"
+            if qemu.node.failed:
+                return f"{qemu.vm.name}: host {qemu.node.name} failed"
+            if qemu.vm.state is not RunState.RUNNING:
+                return f"{qemu.vm.name}: {qemu.vm.state.value}"
+        return None
+
     def _evacuate(self, event: HealthEvent):
         """Predicted failure: Ninja-migrate every VM of the whole fleet.
 
@@ -162,6 +187,13 @@ class FaultToleranceManager:
         healthy pool is exhausted.
         """
         if self._busy or not self._vms_on(event.node):
+            return
+        reason = self._skip_reason()
+        if reason is not None:
+            self.actions.append(FtAction(
+                self.env.now, "evacuate", event.node,
+                detail=f"skipped: {reason}", ok=False,
+            ))
             return
         self._busy = True
         try:
@@ -229,7 +261,8 @@ class FaultToleranceManager:
         if not lost:
             return
         for qemu in lost:
-            qemu.shutdown()
+            if qemu.vm.state is not RunState.SHUTOFF:
+                qemu.shutdown()
         if self.checkpointer is None or self.last_checkpoint is None:
             self.actions.append(FtAction(
                 self.env.now, "restore", event.node,

@@ -667,9 +667,12 @@ class NinjaMigration:
                     else:
                         yield from rollback(err)
                 except ReproError as rollback_err:
+                    # A failed rollback is not a settled outcome: VMs may
+                    # be split across hosts or still parked.  The flag
+                    # keeps the sequence on the recovery work list.
                     journal.append(
                         "aborted", mid=mid, phase=failed_phase or "?",
-                        committed=committed,
+                        committed=committed, rollback_failed=True,
                         error=f"rollback failed: {rollback_err}",
                     )
                     raise MigrationAbortedError(

@@ -217,6 +217,28 @@ class Cluster:
     def node_names(self) -> list[str]:
         return sorted(self.nodes)
 
+    # -- failure injection -------------------------------------------------------------
+
+    def fail_host(self, name: str) -> list[str]:
+        """Kill a host without warning (power loss / kernel panic).
+
+        The node stops accepting reservations, its heartbeat loop dies on
+        the next beat, and every resident QEMU process is destroyed — the
+        guests' RAM is gone, so only a checkpoint restore elsewhere can
+        bring their jobs back.  Returns the names of the VMs lost.
+        """
+        from repro.vmm.vm import RunState
+
+        node = self.node(name)
+        node.failed = True
+        lost = []
+        for qemu in list(node.vms):
+            if qemu.vm.state is not RunState.SHUTOFF:
+                qemu.shutdown()
+            lost.append(qemu.vm.name)
+        self.trace("hardware", "host_failed", node=name, lost_vms=sorted(lost))
+        return lost
+
     # -- convenience ------------------------------------------------------------------
 
     def trace(self, category: str, event: str, **fields: object) -> None:

@@ -53,6 +53,11 @@ class PhysicalNode:
         self.pci.add_slot(HCA_BDF)
         #: QEMU processes currently running on this node.
         self.vms: list["QemuProcess"] = []
+        #: Set when the host dies without warning (power loss, kernel
+        #: panic).  A failed host accepts no new VMs; its resident guests
+        #: are gone and only a checkpoint restore elsewhere can bring the
+        #: jobs back.
+        self.failed = False
         for i, dev_spec in enumerate(spec.devices):
             device = make_device(dev_spec, serial=serial * 16 + i)
             # Seat at the paper's well-known addresses (the bypass adapter
@@ -111,6 +116,8 @@ class PhysicalNode:
         The paper's setup never overcommits RAM (20 GB VMs on 48 GB hosts,
         at most 2 VMs/host), so allocation is modelled as instantaneous.
         """
+        if self.failed:
+            raise HardwareError(f"{self.name}: host has failed")
         if nbytes > self.memory.level:
             raise HardwareError(
                 f"{self.name}: cannot reserve {nbytes} B "

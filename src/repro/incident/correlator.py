@@ -56,6 +56,13 @@ class Incident:
     alerts: List[Alert] = field(default_factory=list)
     links: Set[str] = field(default_factory=set)
     hosts: Set[str] = field(default_factory=set)
+    #: Hosts named by phi-spike alerts — the *suspects* themselves, as
+    #: opposed to ``hosts`` which also accumulates blast-radius hosts
+    #: (every host of every affected job).  Remediation targets suspects;
+    #: folding decisions for phi alerts match against suspects only, so a
+    #: host inside another incident's blast radius can still open its own
+    #: host-failure incident.
+    suspect_hosts: Set[str] = field(default_factory=set)
     jobs: Set[str] = field(default_factory=set)
     request_ids: Set[int] = field(default_factory=set)
     status: str = OPEN
@@ -93,6 +100,7 @@ class Incident:
             "mttr_s": round(self.mttr_s, 4) if self.mttr_s is not None else None,
             "links": sorted(self.links),
             "hosts": sorted(self.hosts),
+            "suspect_hosts": sorted(self.suspect_hosts),
             "jobs": sorted(self.jobs),
             "alerts": len(self.alerts),
             "actions": list(self.actions),
@@ -155,7 +163,11 @@ class IncidentCorrelator:
         if alert.kind in LINK_ALERT_KINDS:
             return alert.key in incident.links
         if alert.kind == "phi-spike":
-            return alert.key in incident.hosts
+            # Match suspects, not the full blast radius: a host that
+            # merely *hosts an affected job* dying later is a second
+            # incident (host failure during a fiber cut), not more of
+            # the first one.
+            return alert.key in incident.suspect_hosts
         return alert.key in incident.jobs or any(
             alert.key.startswith(j) for j in incident.jobs
         )
@@ -171,6 +183,7 @@ class IncidentCorrelator:
             incident.links.add(alert.key)
         elif alert.kind == "phi-spike":
             incident.hosts.add(alert.key)
+            incident.suspect_hosts.add(alert.key)
         incident.klass = self._classify(incident)
         self._blast_radius(incident)
 
@@ -194,12 +207,20 @@ class IncidentCorrelator:
         )
 
     def _blast_radius(self, incident: Incident) -> None:
-        if self.orchestrator is None or not incident.links:
+        if self.orchestrator is None:
             return
-        for request in self.orchestrator.affected_requests(sorted(incident.links)):
-            incident.request_ids.add(request.request_id)
-            incident.jobs.add(request.job_id)
-            incident.hosts.update(request.fleet_job.hosts())
+        if incident.links:
+            for request in self.orchestrator.affected_requests(
+                sorted(incident.links)
+            ):
+                incident.request_ids.add(request.request_id)
+                incident.jobs.add(request.job_id)
+                incident.hosts.update(request.fleet_job.hosts())
+        # A suspect host drags every job with a VM on it into the radius.
+        for host in sorted(incident.suspect_hosts):
+            for record in self.orchestrator.store.jobs_on(host):
+                incident.jobs.add(record.job_id)
+                incident.hosts.update(record.hosts())
 
 
 __all__ = [

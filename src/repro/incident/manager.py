@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import ControllerCrashError
+from repro.errors import ControllerCrashError, ReproError
 from repro.incident.correlator import RESOLVED, Incident, IncidentCorrelator
 from repro.incident.detectors import Alert, Detector, default_detectors
 from repro.incident.runbook import RunbookExecutor, RunbookStep
@@ -39,6 +39,7 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
     from repro.orchestrator.executor import FleetOrchestrator
+    from repro.recovery.checkpoints import FleetCheckpointService
     from repro.recovery.failure_detector import HeartbeatMonitor
     from repro.recovery.journal import MigrationJournal
 
@@ -72,6 +73,9 @@ def incidents_from_journal(journal: "MigrationJournal") -> List[Incident]:
                 severity="critical",
                 links=set(record.payload.get("links", ())),  # type: ignore[arg-type]
                 hosts=set(record.payload.get("hosts", ())),  # type: ignore[arg-type]
+                suspect_hosts=set(
+                    record.payload.get("suspect_hosts", ())  # type: ignore[arg-type]
+                ),
                 jobs=set(record.payload.get("jobs", ())),  # type: ignore[arg-type]
             )
         )
@@ -92,6 +96,7 @@ class IncidentManager:
         runbook: Optional[Dict[str, Tuple[RunbookStep, ...]]] = None,
         probe_period_s: float = 0.25,
         autonomous: bool = True,
+        checkpoints: Optional["FleetCheckpointService"] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -107,7 +112,8 @@ class IncidentManager:
             else IncidentCorrelator(cluster, orchestrator)
         )
         self.executor = RunbookExecutor(
-            cluster, orchestrator, journal=orchestrator.journal, runbook=runbook
+            cluster, orchestrator, journal=orchestrator.journal,
+            runbook=runbook, checkpoints=checkpoints,
         )
         self.probe = LinkTelemetryProbe(
             cluster, self.bus, heartbeats=heartbeats, period_s=probe_period_s
@@ -211,6 +217,14 @@ class IncidentManager:
             )
             if not self.crash_event.triggered:
                 self.crash_event.succeed(self)
+        except ReproError as err:
+            # Remediation exhausted its runbook (no spare capacity, no
+            # checkpoint to restore, ...).  The incident stays open for
+            # operators; the controller itself must keep running.
+            self.cluster.trace(
+                "incident", "remediation_failed",
+                incident=incident.incident_id, error=str(err),
+            )
 
     # -- reporting ---------------------------------------------------------------
 

@@ -33,7 +33,20 @@ Built-in actions (all idempotent):
     waits for the evacuations to land (``restores_service=True`` steps
     stamp the incident's MTTR).
 ``evacuate-host``
-    Evacuate every job with VMs on the incident's suspect hosts.
+    Evacuate every job with live VMs on the incident's suspect hosts.
+    Hosts that are already dead — or jobs whose VMs died with them —
+    are *skipped* (fall-through), not failed: a dead guest cannot be
+    parked, so those jobs belong to ``restore-from-checkpoint``.
+``restore-from-checkpoint``
+    Re-create jobs whose VMs died with a failed host from their last
+    *committed* checkpoint generation, on spare capacity leased from
+    the :class:`~repro.orchestrator.state.SpareArbiter` (ordered by
+    blast radius across overlapping incidents).  Brackets the restore
+    with ``restore-intent`` / ``restore-commit`` journal records and
+    crash-injection sites (``incident.restore.intent`` / ``.boot`` /
+    ``.commit``) so a successor controller resumes without ever
+    double-restoring: committed jobs are skipped, booted-but-
+    uncommitted jobs are reconciled, untouched jobs are re-run.
 ``await-heal``
     Poll until the incident's links are back up and undegraded.
 ``readmit``
@@ -43,10 +56,11 @@ Built-in actions (all idempotent):
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import IncidentError, NetworkError, ReproError
+from repro.errors import FleetError, IncidentError, NetworkError, ReproError
 from repro.incident.correlator import REMEDIATING, RESOLVED, Incident
 from repro.orchestrator.admission import (
     COMPLETED,
@@ -57,11 +71,19 @@ from repro.orchestrator.admission import (
 )
 from repro.sim.process import Interrupt
 from repro.vmm.policy import MigrationPolicy
+from repro.vmm.vm import RunState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.cluster import Cluster
     from repro.orchestrator.executor import FleetOrchestrator
+    from repro.orchestrator.state import FleetJob
+    from repro.recovery.checkpoints import FleetCheckpointService
     from repro.recovery.journal import MigrationJournal
+
+#: Crash-injection sites bracketing the checkpoint-restore path.
+RESTORE_INTENT_SITE = "incident.restore.intent"
+RESTORE_BOOT_SITE = "incident.restore.boot"
+RESTORE_COMMIT_SITE = "incident.restore.commit"
 
 
 @dataclass(frozen=True)
@@ -89,7 +111,8 @@ DEFAULT_RUNBOOK: Dict[str, Tuple[RunbookStep, ...]] = {
         RunbookStep("readmit", timeout_s=5.0),
     ),
     "host-failure": (
-        RunbookStep("evacuate-host", timeout_s=300.0, retries=1,
+        RunbookStep("evacuate-host", timeout_s=300.0, retries=1),
+        RunbookStep("restore-from-checkpoint", timeout_s=600.0, retries=1,
                     restores_service=True),
     ),
     "degraded-wan": (
@@ -116,17 +139,25 @@ class RunbookExecutor:
         orchestrator: "FleetOrchestrator",
         journal: Optional["MigrationJournal"] = None,
         runbook: Optional[Dict[str, Tuple[RunbookStep, ...]]] = None,
+        checkpoints: Optional["FleetCheckpointService"] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.orchestrator = orchestrator
         self.journal = journal if journal is not None else orchestrator.journal
         self.runbook = runbook if runbook is not None else DEFAULT_RUNBOOK
+        #: Checkpoint service backing ``restore-from-checkpoint``.  May be
+        #: None: the restore step then no-ops unless jobs actually need
+        #: restoring, in which case it fails loudly.
+        self.checkpoints = checkpoints
         #: (incident_id, step_index, action) tuples actually executed by
         #: *this* executor — the no-double-execution assertion's witness.
         self.executed: List[Tuple[int, int, str]] = []
         #: Evacuation requests submitted per incident.
         self.evacuations: Dict[int, List[MigrationRequest]] = {}
+        #: (incident_id, job_id, generation) restores committed by *this*
+        #: executor — the no-double-restore assertion's witness.
+        self.restores: List[Tuple[int, str, int]] = []
         self._saved_floor: Dict[int, object] = {}
         self._saved_policy: Dict[int, object] = {}
         self.actions = {
@@ -135,6 +166,8 @@ class RunbookExecutor:
             "raise-viability-floor": RunbookExecutor._act_raise_floor,
             "evacuate-affected": RunbookExecutor._act_evacuate_affected,
             "evacuate-host": RunbookExecutor._act_evacuate_host,
+            "restore-from-checkpoint":
+                RunbookExecutor._act_restore_from_checkpoint,
             "await-heal": RunbookExecutor._act_await_heal,
             "readmit": RunbookExecutor._act_readmit,
         }
@@ -185,6 +218,7 @@ class RunbookExecutor:
                 klass=incident.klass,
                 links=sorted(incident.links),
                 hosts=sorted(incident.hosts),
+                suspect_hosts=sorted(incident.suspect_hosts),
                 jobs=sorted(incident.jobs),
                 opened_at=incident.opened_at,
                 first_anomaly_at=incident.first_anomaly_at,
@@ -320,6 +354,7 @@ class RunbookExecutor:
             if request.status == FAILED and request.job_id in incident.jobs:
                 jobs.add(request.job_id)
         submitted = self.evacuations.setdefault(incident.incident_id, [])
+        to_evacuate: List[str] = []
         for job_id in sorted(jobs):
             if any(
                 r.kind == "evacuate" and not r.terminal
@@ -327,33 +362,60 @@ class RunbookExecutor:
                 if r.job_id == job_id
             ):
                 continue
-            request = orch.submit(
-                job_id, kind="evacuate",
-                priority=orch.config.evacuation_priority,
+            record = orch.store.job(job_id)
+            if any(q.vm.state is RunState.SHUTOFF for q in record.qemus):
+                # Dead guests cannot be parked; restore owns this job.
+                self.cluster.trace(
+                    "incident", "evacuation_skipped",
+                    incident=incident.incident_id, job=job_id,
+                    reason="vm-down",
+                )
+                continue
+            to_evacuate.append(job_id)
+        yield from self._lease_spares(incident, to_evacuate)
+        try:
+            for job_id in to_evacuate:
+                request = orch.submit(
+                    job_id, kind="evacuate",
+                    priority=orch.config.evacuation_priority,
+                    incident_id=incident.incident_id,
+                )
+                request.blacklist.update(
+                    self._unreachable_hosts(job_id, incident.links)
+                )
+                submitted.append(request)
+            self.cluster.trace(
+                "incident", "evacuations_submitted",
+                incident=incident.incident_id, jobs=sorted(jobs),
+                requests=[r.request_id for r in submitted],
             )
-            request.blacklist.update(
-                self._unreachable_hosts(job_id, incident.links)
-            )
-            submitted.append(request)
-        self.cluster.trace(
-            "incident", "evacuations_submitted",
-            incident=incident.incident_id, jobs=sorted(jobs),
-            requests=[r.request_id for r in submitted],
-        )
-        for request in list(submitted):
-            if not request.terminal and request.done is not None:
-                yield request.done
-        bad = [r for r in submitted if r.status != COMPLETED]
-        if bad:
-            raise IncidentError(
-                f"evacuation failed for {sorted(r.job_id for r in bad)}"
-            )
+            for request in list(submitted):
+                if not request.terminal and request.done is not None:
+                    yield request.done
+            bad = [r for r in submitted if r.status != COMPLETED]
+            if bad:
+                raise IncidentError(
+                    f"evacuation failed for {sorted(r.job_id for r in bad)}"
+                )
+        finally:
+            orch.arbiter.release(incident.incident_id)
         yield self.env.timeout(0.0)
 
     def _act_evacuate_host(self, incident: Incident, params: dict):
+        """Drain live jobs off the suspect hosts; fall through cleanly.
+
+        A host that already died cannot be drained, and a job whose VMs
+        died with it cannot be parked — those targets are *skipped* (the
+        runbook proceeds to ``restore-from-checkpoint``), never failed.
+        """
         orch = self.orchestrator
         submitted = self.evacuations.setdefault(incident.incident_id, [])
-        for host in sorted(incident.hosts):
+        skipped: List[str] = []
+        to_evacuate: List[str] = []
+        for host in sorted(incident.suspect_hosts or incident.hosts):
+            if self.cluster.node(host).failed:
+                skipped.append(f"{host}:host-failed")
+                continue
             for record in orch.store.jobs_on(host):
                 if any(
                     r.kind == "evacuate" and not r.terminal
@@ -361,21 +423,239 @@ class RunbookExecutor:
                     if r.fleet_job is record
                 ):
                     continue
+                if any(q.vm.state is RunState.SHUTOFF for q in record.qemus):
+                    skipped.append(f"{host}:{record.job_id}:vm-down")
+                    continue
+                if record.job_id not in to_evacuate:
+                    to_evacuate.append(record.job_id)
+        if skipped:
+            self.cluster.trace(
+                "incident", "evacuation_fell_through",
+                incident=incident.incident_id, skipped=skipped,
+            )
+        if not to_evacuate:
+            yield self.env.timeout(0.0)
+            return
+        yield from self._lease_spares(incident, to_evacuate)
+        try:
+            for job_id in to_evacuate:
                 submitted.append(
                     orch.submit(
-                        record.job_id, kind="evacuate",
+                        job_id, kind="evacuate",
                         priority=orch.config.evacuation_priority,
+                        incident_id=incident.incident_id,
                     )
                 )
-        for request in list(submitted):
-            if not request.terminal and request.done is not None:
-                yield request.done
-        bad = [r for r in submitted if r.status != COMPLETED]
-        if bad:
+            for request in list(submitted):
+                if not request.terminal and request.done is not None:
+                    yield request.done
+            bad = [r for r in submitted if r.status != COMPLETED]
+            if bad:
+                raise IncidentError(
+                    f"evacuation failed for {sorted(r.job_id for r in bad)}"
+                )
+        finally:
+            orch.arbiter.release(incident.incident_id)
+
+    def _act_restore_from_checkpoint(self, incident: Incident, params: dict):
+        """Restore dead jobs from their last committed checkpoint.
+
+        Idempotent and crash-recoverable: jobs with a ``restore-commit``
+        record for this incident are skipped, restores a dead predecessor
+        finished booting but never committed are reconciled into the
+        journal, and everything else re-runs from scratch on spare hosts
+        leased through the arbiter.
+        """
+        orch = self.orchestrator
+        self._reconcile_restores(incident)
+        targets = self._jobs_needing_restore(incident)
+        if not targets:
+            yield self.env.timeout(0.0)
+            return
+        if self.checkpoints is None:
             raise IncidentError(
-                f"evacuation failed for {sorted(r.job_id for r in bad)}"
+                f"jobs {sorted(r.job_id for r in targets)} lost VMs but no "
+                "checkpoint service is attached — nothing to restore from"
             )
-        yield self.env.timeout(0.0)
+        for record in targets:
+            yield from self._restore_one(incident, record, params)
+        orch.nudge()
+
+    def _restore_one(self, incident: Incident, record: "FleetJob", params: dict):
+        orch = self.orchestrator
+        service = self.checkpoints
+        iid = incident.incident_id
+        generation = self.journal.last_committed_checkpoint(record.job_id)
+        if generation is None:
+            raise IncidentError(
+                f"{record.job_id}: no committed checkpoint generation — "
+                "the job's state died with the host"
+            )
+        gen_no = int(generation.get("generation", -1))
+        # ``spare_pattern`` restricts restore targets to designated spare
+        # hosts (e.g. "sp*") instead of any host that happens to be empty.
+        pattern = str(params.get("spare_pattern", "*"))
+        candidates = [
+            h for h in self._spare_candidates(incident)
+            if fnmatch.fnmatch(h, pattern)
+        ]
+        lease = candidates[: len(record.qemus)] or candidates
+        if not lease:
+            raise IncidentError(
+                f"{record.job_id}: no spare capacity available for restore"
+            )
+        hosts = yield from orch.arbiter.acquire(
+            iid, lease,
+            blast_radius=len(incident.jobs) + len(incident.request_ids),
+        )
+        try:
+            self.journal.append(
+                "restore-intent",
+                incident=iid, job=record.job_id, generation=gen_no,
+                hosts=sorted(hosts), epoch=service.epoch,
+            )
+            yield from self.cluster.faults.perturb(RESTORE_INTENT_SITE)
+            # The restored job supersedes any in-flight migration work.
+            for request in orch.requests:
+                if request.fleet_job is record and not request.terminal:
+                    if request.status == PENDING:
+                        orch.cancel(
+                            request,
+                            reason=f"incident-{iid}: superseded by restore",
+                        )
+                    elif request.status == RUNNING:
+                        request.max_attempts = request.attempts
+            yield from self.cluster.faults.perturb(RESTORE_BOOT_SITE)
+            outcome = yield from service.restore_job(
+                record, generation, sorted(hosts), name_tag=f"+i{iid}"
+            )
+            orch.store.replace_job(record.job_id, outcome.job, outcome.qemus)
+            if record.rank_main is not None:
+                outcome.job.launch(record.rank_main)
+            yield from self.cluster.faults.perturb(RESTORE_COMMIT_SITE)
+            self.cluster.fencing.check(service.epoch, actor="restore")
+            rto_s = self.env.now - incident.first_anomaly_at
+            rpo_s = max(
+                incident.first_anomaly_at
+                - float(generation.get("consistency_at", 0.0)),
+                0.0,
+            )
+            self.journal.append(
+                "restore-commit",
+                incident=iid, job=record.job_id, generation=gen_no,
+                hosts=sorted(hosts),
+                vms=sorted(q.vm.name for q in outcome.qemus),
+                adopted=sorted(outcome.adopted),
+                rpo_s=round(rpo_s, 6), rto_s=round(rto_s, 6),
+                epoch=service.epoch,
+            )
+            self.restores.append((iid, record.job_id, gen_no))
+            self.cluster.trace(
+                "incident", "job_restored", incident=iid, job=record.job_id,
+                generation=gen_no, hosts=sorted(hosts),
+                rpo_s=round(rpo_s, 3), rto_s=round(rto_s, 3),
+            )
+        finally:
+            orch.arbiter.release(iid)
+
+    def _jobs_needing_restore(self, incident: Incident) -> List["FleetJob"]:
+        """Blast-radius jobs with dead VMs and no committed restore."""
+        orch = self.orchestrator
+        out: List["FleetJob"] = []
+        for host in sorted(incident.suspect_hosts or incident.hosts):
+            for record in orch.store.jobs_on(host):
+                if record in out:
+                    continue
+                if self.journal.restore_commit_for(
+                    incident.incident_id, record.job_id
+                ):
+                    continue
+                if any(
+                    q.vm.state is RunState.SHUTOFF or q.node.failed
+                    for q in record.qemus
+                ):
+                    out.append(record)
+        return out
+
+    def _reconcile_restores(self, incident: Incident) -> None:
+        """Commit restores a dead predecessor booted but never journaled.
+
+        A controller crash between the restored job launching and the
+        ``restore-commit`` append leaves intent-without-commit with the
+        new VMs already running.  Re-running the restore would double it;
+        the successor instead writes the missing commit (``recovered``).
+        """
+        orch = self.orchestrator
+        for payload in self.journal.uncommitted_restores(incident.incident_id):
+            job_id = str(payload.get("job"))
+            try:
+                record = orch.store.job(job_id)
+            except FleetError:
+                continue
+            if any(
+                q.vm.state is not RunState.RUNNING or q.node.failed
+                for q in record.qemus
+            ):
+                continue  # nothing booted — the restore simply re-runs
+            generation = self.journal.last_committed_checkpoint(job_id)
+            rpo_s = max(
+                incident.first_anomaly_at
+                - float((generation or {}).get("consistency_at", 0.0)),
+                0.0,
+            )
+            self.journal.append(
+                "restore-commit",
+                incident=incident.incident_id, job=job_id,
+                generation=int(payload.get("generation", -1)),
+                hosts=list(payload.get("hosts", ())),
+                vms=sorted(q.vm.name for q in record.qemus),
+                adopted=sorted(q.vm.name for q in record.qemus),
+                rpo_s=round(rpo_s, 6),
+                rto_s=round(self.env.now - incident.first_anomaly_at, 6),
+                epoch=payload.get("epoch"),
+                recovered=True,
+            )
+            self.cluster.trace(
+                "incident", "restore_reconciled",
+                incident=incident.incident_id, job=job_id,
+            )
+
+    def _spare_candidates(self, incident: Incident) -> List[str]:
+        """Empty, healthy, unreserved hosts not leased to another incident."""
+        orch = self.orchestrator
+        foreign = orch.arbiter.leased_to_others(incident.incident_id)
+        out: List[str] = []
+        for name in sorted(self.cluster.nodes):
+            node = self.cluster.node(name)
+            if node.failed or node.vms or name in foreign:
+                continue
+            if name in incident.suspect_hosts:
+                continue
+            if orch.store.reserved_bytes(name) > 0:
+                continue
+            out.append(name)
+        return out
+
+    def _lease_spares(self, incident: Incident, job_ids: List[str]):
+        """Lease one spare slot per VM being moved (all-or-nothing).
+
+        Serialises this incident's landing zone against overlapping
+        incidents; released by the caller once the VMs occupy (or no
+        longer need) the spares.  No-op when nothing is moving or no
+        spares exist — ordinary placement still applies.
+        """
+        orch = self.orchestrator
+        need = sum(
+            len(orch.store.job(job_id).qemus) for job_id in job_ids
+        )
+        lease = self._spare_candidates(incident)[:need]
+        if lease:
+            yield from orch.arbiter.acquire(
+                incident.incident_id, lease,
+                blast_radius=len(incident.jobs) + len(incident.request_ids),
+            )
+        else:
+            yield self.env.timeout(0.0)
 
     def _act_await_heal(self, incident: Incident, params: dict):
         recheck_s = float(params.get("recheck_s", 1.0))  # type: ignore[arg-type]
@@ -447,4 +727,11 @@ class RunbookExecutor:
         return unreachable
 
 
-__all__ = ["RunbookStep", "RunbookExecutor", "DEFAULT_RUNBOOK"]
+__all__ = [
+    "RunbookStep",
+    "RunbookExecutor",
+    "DEFAULT_RUNBOOK",
+    "RESTORE_INTENT_SITE",
+    "RESTORE_BOOT_SITE",
+    "RESTORE_COMMIT_SITE",
+]

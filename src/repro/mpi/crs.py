@@ -52,6 +52,8 @@ class OpalCrs:
         self.callbacks = CrsCallbacks()
         #: Completed checkpoints (diagnostics).
         self.checkpoints = 0
+        #: Completed restarts (diagnostics).
+        self.restarts = 0
 
     def register_callbacks(self, callbacks: CrsCallbacks) -> None:
         """What ``libsymvirt.so`` does at load time (via LD_PRELOAD)."""
@@ -71,3 +73,18 @@ class OpalCrs:
         if self.callbacks.continue_cb is not None:
             yield from self.callbacks.continue_cb(proc)
         self.checkpoints += 1
+
+    def restart(self, proc: "MpiProcess"):
+        """Run the SELF restart sequence for one rank (generator).
+
+        SymVirt's migration path never reaches here (it resumes inside
+        the checkpoint callback), but a *reactive* restore does: a rank
+        brought back from a stored image re-enters through restart before
+        the job is relaunched.  The callback is optional — SELF restart
+        with no callback is a no-op beyond bookkeeping.
+        """
+        if self.callbacks.restart is not None:
+            yield from self.callbacks.restart(proc)
+        else:
+            yield self.env.timeout(0.0)
+        self.restarts += 1

@@ -28,6 +28,7 @@ from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Message
 from repro.mpi.ft import FtSettings
 from repro.mpi.p2p import MatchingEngine, SendTracker
 from repro.sim.events import Event
+from repro.sim.process import Interrupt
 from repro.vmm.guest_memory import PageClass
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -291,15 +292,22 @@ class MpiJob:
         """
 
         def _wrap(proc: MpiProcess):
-            if not proc.btl.modules:
-                yield from proc.btl.construct()
-            result = yield from rank_main(proc, self.world.view(proc.rank))
-            # MPI_Finalize semantics: service a checkpoint request that
-            # raced with completion, so peers already parked are not left
-            # waiting for this rank forever.
-            while proc.cr_pending:
-                yield from proc.service_cr()
-            return result
+            try:
+                if not proc.btl.modules:
+                    yield from proc.btl.construct()
+                result = yield from rank_main(proc, self.world.view(proc.rank))
+                # MPI_Finalize semantics: service a checkpoint request that
+                # raced with completion, so peers already parked are not left
+                # waiting for this rank forever.
+                while proc.cr_pending:
+                    yield from proc.service_cr()
+                return result
+            except Interrupt as intr:
+                # mpirun killed the rank (host died / job superseded by a
+                # checkpoint restore).  Exit cleanly — the replacement job
+                # owns the ranks from here.
+                proc.trace("job", "rank_terminated", reason=str(intr.cause))
+                return None
 
         self._rank_processes = [
             self.env.process(_wrap(proc), name=f"rank{proc.rank}") for proc in self.procs
@@ -311,6 +319,18 @@ class MpiJob:
         if not self._rank_processes:
             raise MpiError("launch() has not been called")
         return self.env.all_of(self._rank_processes)
+
+    def terminate(self, reason: str = "job terminated") -> None:
+        """Kill every still-running rank (mpirun teardown).
+
+        Used when the job is superseded — e.g. a checkpoint restore
+        replaces it with a fresh :class:`MpiJob` over restored VMs — so
+        survivor ranks don't sit in a receive waiting for dead peers.
+        """
+        for process in self._rank_processes:
+            if process.is_alive:
+                process.interrupt(reason)
+        self.cluster.trace("mpi.job", "terminated", reason=reason)
 
     # -- checkpoint entry point (the ompi-checkpoint command) ---------------------------------
 

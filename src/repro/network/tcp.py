@@ -91,13 +91,29 @@ class TcpConnection:
             conn = yield from TcpConnection.connect(env, a, b, cal)
         """
         conn = cls(env, local, remote, calibration)
-        rtt = 2.0 * local.fabric.latency(local.port, remote.port)
+        rtt = 2.0 * (yield from conn._await_path())
         yield env.timeout(calibration.tcp_connect_s + 1.5 * rtt)
         for endpoint in (local, remote):
             if endpoint.port.state is not PortState.ACTIVE:
                 raise NetworkError(f"connect failed: {endpoint.port.name} down")
         conn.established = True
         return conn
+
+    def _await_path(self):
+        """One-way path latency, stalling while the route is down.
+
+        A mid-outage route must stall the handshake/stream like TCP
+        retransmission does, not fail it — the outage ends, the timer
+        fires, the transfer proceeds.  RTO-style backoff: 1 s doubling
+        to an 8 s cap, re-probing until the route is restored.
+        """
+        backoff = 1.0
+        while True:
+            try:
+                return self.local.fabric.latency(self.local.port, self.remote.port)
+            except NetworkError:
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2.0, 8.0)
 
     def send(self, nbytes: float, label: str = "") -> Event:
         """Transfer ``nbytes`` local→remote; event fires at completion.
@@ -113,12 +129,18 @@ class TcpConnection:
 
     def _send_proc(self, nbytes: float, label: str, done: Event):
         cap = min(self.local.stream_cap_Bps, self.remote.stream_cap_Bps)
-        latency = self.local.fabric.latency(self.local.port, self.remote.port)
-        yield self.env.timeout(latency + self.calibration.eth_latency_s)
         waits = []
-        flow = self.local.fabric.transfer(
-            self.local.port, self.remote.port, nbytes, cap_Bps=cap, label=label or "tcp"
-        )
+        while True:
+            latency = yield from self._await_path()
+            yield self.env.timeout(latency + self.calibration.eth_latency_s)
+            try:
+                flow = self.local.fabric.transfer(
+                    self.local.port, self.remote.port, nbytes,
+                    cap_Bps=cap, label=label or "tcp",
+                )
+            except NetworkError:
+                continue  # route dropped during the hand-off; re-probe
+            break
         waits.append(flow.done)
         base_cpu_seconds = nbytes / self.calibration.tcp_cpu_Bps_per_core
         max_cores = self.calibration.tcp_cpu_max_cores

@@ -66,6 +66,9 @@ class MigrationRequest:
     #: Why the request last failed to start (diagnostics).
     defer_reason: str = ""
     error: str = ""
+    #: Incident that submitted this request (spare-arbiter accounting);
+    #: None for ordinary tenant/health-driven work.
+    incident_id: Optional[int] = None
     #: Fires (with this request) on reaching a terminal state.
     done: Optional["Event"] = None
 

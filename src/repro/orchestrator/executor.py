@@ -59,8 +59,9 @@ from repro.orchestrator.admission import (
 )
 from repro.orchestrator.placement import PlacementEngine
 from repro.orchestrator.planner import PlannedMigration, WavePlanner, migration_links
-from repro.orchestrator.state import FleetJob, FleetStateStore
+from repro.orchestrator.state import FleetJob, FleetStateStore, SpareArbiter
 from repro.sim.events import Event
+from repro.vmm.vm import RunState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.fault_tolerance import HealthMonitor
@@ -100,6 +101,10 @@ class FleetConfig:
     degraded_recheck_s: float = 5.0
     #: Give up on a degraded path after waiting this long in total.
     degraded_max_wait_s: float = 600.0
+    #: How often to re-check requests deferred on a busy job (proactive
+    #: checkpoint in flight) or a down VM (awaiting checkpoint restore)
+    #: while nothing else can run.
+    busy_recheck_s: float = 0.5
 
     @classmethod
     def naive(cls) -> "FleetConfig":
@@ -140,6 +145,8 @@ class FleetOrchestrator:
         #: Shared write-ahead journal (``journal`` is ignored when an
         #: explicit ``ninja`` brings its own).
         self.journal = self.ninja.journal
+        #: Spare-host leases across concurrent incident remediations.
+        self.arbiter = SpareArbiter(cluster)
         #: Set when a ``controller.crash.*`` fault killed the control
         #: plane: the scan loop stops, running sequences die at their
         #: next boundary, and no graceful bookkeeping runs — recovery
@@ -169,8 +176,11 @@ class FleetOrchestrator:
         job: "MpiJob",
         qemus: Sequence["QemuProcess"],
         tenant: str = "default",
+        rank_main=None,
     ) -> FleetJob:
-        return self.store.register_job(job_id, job, qemus, tenant=tenant)
+        return self.store.register_job(
+            job_id, job, qemus, tenant=tenant, rank_main=rank_main
+        )
 
     def submit(
         self,
@@ -180,6 +190,7 @@ class FleetOrchestrator:
         consolidate_to: Optional[int] = None,
         dst_hosts: Optional[Sequence[str]] = None,
         max_attempts: Optional[int] = None,
+        incident_id: Optional[int] = None,
     ) -> MigrationRequest:
         """Queue a migration request for a registered job."""
         record = self.store.job(job_id)
@@ -193,6 +204,7 @@ class FleetOrchestrator:
             max_attempts=(
                 max_attempts if max_attempts is not None else self.config.max_attempts
             ),
+            incident_id=incident_id,
             done=Event(self.env),
         )
         self.requests.append(request)
@@ -228,6 +240,15 @@ class FleetOrchestrator:
                 for r in self.requests
                 if r.fleet_job is record
             ):
+                continue
+            if any(q.vm.state is RunState.SHUTOFF for q in record.qemus):
+                # The node did not merely degrade — its VMs are gone.
+                # Evacuation cannot park dead guests; checkpoint-restore
+                # remediation owns this job now.
+                self.cluster.trace(
+                    "fleet", "evacuation_skipped", job=record.job_id,
+                    node=event.node, reason="vm-down",
+                )
                 continue
             self.cluster.trace(
                 "fleet", "evacuation_enqueued", job=record.job_id, node=event.node,
@@ -334,12 +355,14 @@ class FleetOrchestrator:
 
     def _run(self):
         degraded_wait = 0.0
+        busy_wait = 0.0
         while True:
             if self.crashed:
                 return
             started = self._scan()
             if started:
                 degraded_wait = 0.0
+                busy_wait = 0.0
             if not self._running and not len(self.admission):
                 self._check_settled()
                 return  # drained; a new submit restarts the loop
@@ -359,6 +382,17 @@ class FleetOrchestrator:
                         waited_s=round(degraded_wait, 1),
                     )
                     yield self.env.timeout(self.config.degraded_recheck_s)
+                    continue
+                waiting = [
+                    r for r in self.admission.pending
+                    if r.defer_reason in ("job-busy", "vm-down")
+                ]
+                if waiting and busy_wait < self.config.degraded_max_wait_s:
+                    # Busy jobs finish their checkpoint; down VMs come
+                    # back through checkpoint restore.  Both resolve on
+                    # their own clock — poll, don't fail.
+                    busy_wait += self.config.busy_recheck_s
+                    yield self.env.timeout(self.config.busy_recheck_s)
                     continue
                 # Nothing runs, nothing could start, and no completion
                 # will ever wake us: the queued requests are infeasible.
@@ -390,6 +424,24 @@ class FleetOrchestrator:
         planned: List[PlannedMigration] = []
         by_item: Dict[PlannedMigration, MigrationRequest] = {}
         for request in batch:
+            if request.fleet_job.busy:
+                # A proactive checkpoint (or an externally driven
+                # sequence) holds the job's SymVirt exclusivity right
+                # now; admission only sees *requests*, so re-check here.
+                request.defer_reason = "job-busy"
+                self.admission.stats.defer("job-busy")
+                self.admission.submit(request, requeue=True)
+                continue
+            if any(
+                q.vm.state is RunState.SHUTOFF for q in request.fleet_job.qemus
+            ):
+                # A host died under this job: migration would park dead
+                # guests.  Hold the request until checkpoint restore
+                # replaces the VMs (or the wait budget expires).
+                request.defer_reason = "vm-down"
+                self.admission.stats.defer("vm-down")
+                self.admission.submit(request, requeue=True)
+                continue
             try:
                 plan = self._build_plan(request)
             except (SchedulerError, PlanError, FleetError) as err:
@@ -555,7 +607,9 @@ class FleetOrchestrator:
         elif request.kind == "evacuate":
             hosts = self.placement.pick_spread(
                 qemus,
-                self._evacuation_candidates(record, exclude),
+                self._evacuation_candidates(
+                    record, exclude, incident_id=request.incident_id
+                ),
                 exclude=exclude,
                 kind="healthy",
             )
@@ -573,20 +627,30 @@ class FleetOrchestrator:
             self.cluster, qemus, hosts, attach_ib=attach, label=request.label
         )
 
-    def _evacuation_candidates(self, record: FleetJob, exclude) -> List:
-        """Empty healthy nodes, current hosts excluded."""
+    def _evacuation_candidates(
+        self, record: FleetJob, exclude, incident_id: Optional[int] = None
+    ) -> List:
+        """Empty healthy nodes, current hosts excluded.
+
+        Dead hosts never qualify, and hosts the spare arbiter has leased
+        to a *different* incident are invisible — that is what keeps two
+        overlapping remediations from landing on the same spare.
+        """
         current = set(record.hosts())
+        leased_away = self.arbiter.leased_to_others(
+            incident_id if incident_id is not None else -1
+        )
         healthy = None
         if self._monitor is not None:
             healthy = set(self._monitor.healthy_nodes())
         nodes = []
         for name in sorted(self.cluster.nodes):
-            if name in current or name in exclude:
+            if name in current or name in exclude or name in leased_away:
                 continue
             if healthy is not None and name not in healthy:
                 continue
             node = self.cluster.node(name)
-            if node.vms:
+            if node.vms or node.failed:
                 continue
             nodes.append(node)
         return nodes

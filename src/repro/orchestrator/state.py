@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import FleetError
+from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.plan import MigrationPlan
@@ -61,8 +62,13 @@ class FleetJob:
     qemus: List["QemuProcess"]
     #: True while a migration sequence for this job is in flight — at
     #: most one sequence may own a job's VMs at a time (the SymVirt park
-    #: is job-global).
+    #: is job-global).  Proactive checkpoints hold the same exclusivity.
     busy: bool = False
+    #: The job's SPMD program, kept so a checkpoint restore can relaunch
+    #: the replacement :class:`~repro.mpi.runtime.MpiJob` from the
+    #: restored epoch.  None means restore boots the VMs but cannot
+    #: resume computation.
+    rank_main: Optional[Callable] = None
 
     def hosts(self) -> List[str]:
         return [q.node.name for q in self.qemus]
@@ -90,14 +96,40 @@ class FleetStateStore:
         job: "MpiJob",
         qemus: Sequence["QemuProcess"],
         tenant: str = "default",
+        rank_main: Optional[Callable] = None,
     ) -> FleetJob:
         if job_id in self.jobs:
             raise FleetError(f"duplicate job id {job_id!r}")
-        record = FleetJob(job_id=job_id, tenant=tenant, job=job, qemus=list(qemus))
+        record = FleetJob(
+            job_id=job_id, tenant=tenant, job=job, qemus=list(qemus),
+            rank_main=rank_main,
+        )
         self.jobs[job_id] = record
         self.cluster.trace(
             "fleet", "job_registered", job=job_id, tenant=tenant,
             hosts=record.hosts(),
+        )
+        return record
+
+    def replace_job(
+        self,
+        job_id: str,
+        job: "MpiJob",
+        qemus: Sequence["QemuProcess"],
+    ) -> FleetJob:
+        """Swap a registered job's MpiJob + VMs for restored replacements.
+
+        Checkpoint restore boots *new* QEMU processes and a *new*
+        :class:`~repro.mpi.runtime.MpiJob`; the fleet identity (job id,
+        tenant, SPMD program) survives the swap.  The old objects stay
+        reachable through the journal/traces only.
+        """
+        record = self.job(job_id)
+        record.job = job
+        record.qemus = list(qemus)
+        record.busy = False
+        self.cluster.trace(
+            "fleet", "job_replaced", job=job_id, hosts=record.hosts(),
         )
         return record
 
@@ -234,3 +266,142 @@ class FleetStateStore:
                     f"{host}: {claimed} B reserved exceeds "
                     f"{node.free_memory:.0f} B free"
                 )
+
+
+@dataclass(eq=False)
+class _SpareClaim:
+    """One incident's pending request for a set of spare hosts."""
+
+    incident_id: int
+    hosts: frozenset
+    blast_radius: int
+    seq: int
+    event: Event
+
+
+class SpareArbiter:
+    """Leases of spare hosts across *concurrent incidents*.
+
+    Two overlapping incidents (a fiber cut evacuating around a dark WAN
+    and a host failure restoring from checkpoint) compete for the same
+    thin pool of spare hosts.  The arbiter serialises that competition:
+
+    * a remediation **acquires** every spare it needs *atomically* — it
+      either gets all of them or waits, never holds a subset (no
+      hold-and-wait, hence no deadlock between incidents);
+    * waiting claims are granted ordered by **blast radius** (bigger
+      incident first; FIFO within a tie), so the incident threatening
+      more requests is never starved by a smaller one;
+    * a host leased to one incident is invisible to others until
+      **released**; re-acquiring under the same incident id is free
+      (remediation steps of one incident compose).
+
+    Leases are advisory concurrency control *between incidents*; RAM
+    capacity itself stays guarded by :class:`FleetStateStore`
+    reservations.  ``double_leases`` audits the invariant the benchmark
+    pins: it must stay empty.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        #: host name → incident id holding it.
+        self.leases: Dict[str, int] = {}
+        self._waiting: List[_SpareClaim] = []
+        self._seq = count()
+        #: (time, incident, hosts) audit of every grant.
+        self.grants: List[tuple] = []
+        #: (host, holder, claimant) conflicts that slipped through — the
+        #: no-double-reservation invariant says this stays empty.
+        self.double_leases: List[tuple] = []
+
+    # -- queries -----------------------------------------------------------------
+
+    def holder(self, host: str) -> Optional[int]:
+        return self.leases.get(host)
+
+    def leased_to_others(self, incident_id: int) -> set:
+        """Hosts currently leased to a *different* incident."""
+        return {
+            host for host, owner in self.leases.items() if owner != incident_id
+        }
+
+    def held_by(self, incident_id: int) -> List[str]:
+        return sorted(
+            host for host, owner in self.leases.items() if owner == incident_id
+        )
+
+    # -- lease lifecycle -----------------------------------------------------------
+
+    def acquire(self, incident_id: int, hosts: Sequence[str], blast_radius: int = 0):
+        """Lease every listed host to ``incident_id`` (generator).
+
+        Blocks until *all* of them are free (or already ours).  Returns
+        the sorted host list.
+        """
+        wanted = frozenset(hosts)
+        if not wanted:
+            return []
+        claim = _SpareClaim(
+            incident_id=incident_id,
+            hosts=wanted,
+            blast_radius=blast_radius,
+            seq=next(self._seq),
+            event=Event(self.env),
+        )
+        self._waiting.append(claim)
+        self._grant()
+        yield claim.event
+        return sorted(wanted)
+
+    def release(self, incident_id: int) -> List[str]:
+        """Drop every lease held by ``incident_id``; wakes waiting claims."""
+        freed = self.held_by(incident_id)
+        for host in freed:
+            del self.leases[host]
+        if freed:
+            self.cluster.trace(
+                "arbiter", "released", incident=incident_id, hosts=freed,
+            )
+            self._grant()
+        return freed
+
+    # -- internal ------------------------------------------------------------------
+
+    def _grant(self) -> None:
+        """Grant every satisfiable waiting claim, biggest blast radius first.
+
+        A claim is satisfiable when each wanted host is unleased or
+        already leased to the same incident — all-or-nothing, so partial
+        holds never exist.  Smaller claims over *disjoint* hosts are
+        granted in the same pass (no head-of-line blocking on capacity
+        they don't contend for).
+        """
+        self._waiting.sort(key=lambda c: (-c.blast_radius, c.seq))
+        granted: List[_SpareClaim] = []
+        for claim in self._waiting:
+            blockers = {
+                host
+                for host in claim.hosts
+                if self.leases.get(host, claim.incident_id) != claim.incident_id
+            }
+            if blockers:
+                continue
+            for host in claim.hosts:
+                holder = self.leases.get(host)
+                if holder is not None and holder != claim.incident_id:
+                    # Unreachable by construction; audited, not assumed.
+                    self.double_leases.append((host, holder, claim.incident_id))
+                self.leases[host] = claim.incident_id
+            granted.append(claim)
+            self.grants.append(
+                (self.env.now, claim.incident_id, sorted(claim.hosts))
+            )
+            self.cluster.trace(
+                "arbiter", "granted", incident=claim.incident_id,
+                hosts=sorted(claim.hosts), blast_radius=claim.blast_radius,
+            )
+        for claim in granted:
+            self._waiting.remove(claim)
+            if not claim.event.triggered:
+                claim.event.succeed(sorted(claim.hosts))

@@ -123,8 +123,13 @@ class HeartbeatMonitor:
 
     def emit_heartbeats(self, node: str, period_s: float, count: int = 10**9):
         """Generator: a node's heartbeat loop (run as a process; kill the
-        process — or bound ``count`` — to simulate the node going silent)."""
+        process — or bound ``count`` — to simulate the node going silent).
+
+        A host marked failed (:meth:`~repro.hardware.cluster.Cluster.fail_host`)
+        goes silent at its next beat — nobody is left to run the agent."""
         for _ in range(count):
+            if self.cluster.node(node).failed:
+                return
             self.beat(node)
             yield self.env.timeout(period_s)
 

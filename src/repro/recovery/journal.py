@@ -51,6 +51,18 @@ Record kinds
     ``action`` name).  A successor controller re-runs any step with an
     intent but no commit and skips committed ones — the incident
     analogue of the phase-level intent/commit discipline above.
+``checkpoint-intent`` / ``checkpoint-commit``
+    A proactive checkpoint generation is about to be written / is fully
+    on stable storage (``job``, ``generation``, ``images``,
+    ``consistency_at`` in the payload).  Only *committed* generations
+    are restorable: an intent without a commit means the images may be
+    partial and must never be restored from.
+``restore-intent`` / ``restore-commit``
+    A checkpoint restore (host-failure remediation) is about to boot
+    replacement VMs / has replaced the job (``incident``, ``job``,
+    ``generation``, ``hosts``, ``rpo_s``, ``rto_s``).  A successor
+    controller skips jobs with a commit and re-runs ones with only an
+    intent — restore actions are idempotent per (incident, job).
 
 Persistence is JSON Lines: one record per line, appended with an
 explicit flush so a crash loses at most the record being written —
@@ -196,7 +208,14 @@ class MigrationSnapshot:
         elif kind == "rollback-action":
             self.rollback_actions.append(str(record.payload.get("action", "")))
         elif kind in TERMINAL_KINDS:
-            self.terminal = kind
+            # An abort whose *rollback itself* failed left the fleet in an
+            # unreconciled state (split placement, parked guests): it
+            # stays unfinished so recovery picks the sequence up, exactly
+            # like a controller crash mid-rollback.
+            if record.payload.get("rollback_failed"):
+                self.terminal = None
+            else:
+                self.terminal = kind
 
 
 class MigrationJournal:
@@ -344,6 +363,89 @@ class MigrationJournal:
             and r.payload.get("label") == label
             and int(r.payload.get("request", -1)) not in released  # type: ignore[arg-type]
         ]
+
+    # -- checkpoint/restore folds ----------------------------------------------------
+
+    def committed_checkpoints(
+        self, job_id: str, before: Optional[float] = None
+    ) -> List[Dict[str, object]]:
+        """Every *committed* checkpoint generation for ``job_id``.
+
+        A generation counts only when its ``checkpoint-commit`` record
+        exists (an intent alone means the images may be partial).  With
+        ``before`` set, generations committed after that time are
+        excluded — they did not exist yet when the failure struck.
+        Returned in commit order (oldest first); pure fold.
+        """
+        commits = []
+        for record in self.records:
+            if record.kind != "checkpoint-commit":
+                continue
+            if record.payload.get("job") != job_id:
+                continue
+            if before is not None and record.time > before:
+                continue
+            commits.append(dict(record.payload, committed_at=record.time))
+        return commits
+
+    def last_committed_checkpoint(
+        self, job_id: str, before: Optional[float] = None
+    ) -> Optional[Dict[str, object]]:
+        """The newest restorable generation for ``job_id`` (or None).
+
+        "Newest" by consistency point, which matches commit order since
+        generations commit sequentially per job.  This is the RPO bound:
+        a restore never resurrects state older than this generation.
+        """
+        commits = self.committed_checkpoints(job_id, before=before)
+        if not commits:
+            return None
+        return max(commits, key=lambda p: float(p.get("consistency_at", 0.0)))
+
+    def restore_commit_for(
+        self, incident_id: int, job_id: str
+    ) -> Optional[Dict[str, object]]:
+        """The journalled restore outcome for (incident, job), if any.
+
+        A successor controller checks this before re-restoring: a commit
+        means the replacement job already exists and running the action
+        again would double-restore.
+        """
+        for record in self.records:
+            if (
+                record.kind == "restore-commit"
+                and record.payload.get("incident") == incident_id
+                and record.payload.get("job") == job_id
+            ):
+                return dict(record.payload)
+        return None
+
+    def uncommitted_restores(self, incident_id: int) -> List[Dict[str, object]]:
+        """Restore intents of this incident with no matching commit.
+
+        Each is a restore a dead controller started: either nothing was
+        booted (the successor re-runs it) or the replacement job is
+        already up and only the commit record is missing (the successor
+        reconciles it) — it must decide which by inspecting the fleet.
+        """
+        committed = {
+            record.payload.get("job")
+            for record in self.records
+            if record.kind == "restore-commit"
+            and record.payload.get("incident") == incident_id
+        }
+        out: List[Dict[str, object]] = []
+        seen = set()
+        for record in self.records:
+            if (
+                record.kind == "restore-intent"
+                and record.payload.get("incident") == incident_id
+                and record.payload.get("job") not in committed
+                and record.payload.get("job") not in seen
+            ):
+                seen.add(record.payload.get("job"))
+                out.append(dict(record.payload))
+        return out
 
     # -- (de)serialisation ----------------------------------------------------------
 

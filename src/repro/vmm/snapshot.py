@@ -54,12 +54,19 @@ def _image_meta(qemu: "QemuProcess") -> dict:
     }
 
 
-def checkpoint_vm(qemu: "QemuProcess", store: "NfsServer", image_name: Optional[str] = None):
+def checkpoint_vm(
+    qemu: "QemuProcess",
+    store: "NfsServer",
+    image_name: Optional[str] = None,
+    extra_meta: Optional[dict] = None,
+):
     """Write a memory snapshot of a parked/paused VM (generator).
 
     Like migration, checkpointing is blocked while a passthrough device
     is attached and requires a quiescent guest — the SymVirt sequence
-    provides both.  Returns :class:`SnapshotStats`.
+    provides both.  ``extra_meta`` entries (e.g. checkpoint generation
+    and owning job) are merged into the stored image metadata.  Returns
+    :class:`SnapshotStats`.
     """
     if qemu.migration_blockers:
         blockers = ", ".join(sorted(qemu.migration_blockers))
@@ -88,7 +95,10 @@ def checkpoint_vm(qemu: "QemuProcess", store: "NfsServer", image_name: Optional[
     )
     yield qemu.env.timeout(cpu_seconds)
     name = image_name or f"{vm.name}.memsnap"
-    yield from store.write_image(name, int(wire), kind="memory-snapshot", meta=_image_meta(qemu))
+    meta = _image_meta(qemu)
+    if extra_meta:
+        meta.update(extra_meta)
+    yield from store.write_image(name, int(wire), kind="memory-snapshot", meta=meta)
     stats = SnapshotStats(
         image_name=name,
         wire_bytes=wire,

@@ -166,6 +166,30 @@ def test_incident_crash_drill_resumes(capsys):
     assert "double-executed steps: none" in out
 
 
+def test_incident_host_failure_drill(capsys, tmp_path):
+    trace = tmp_path / "hostfail.jsonl"
+    assert main([
+        "incident", "--jobs", "2", "--spares", "1",
+        "--checkpoint-period", "20", "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "host-failure drill" in out
+    assert "RPO:" in out and "restore RTO" in out
+    assert "lost VMs: none" in out
+    assert "restored:  j0" in out
+    assert trace.exists()
+
+
+def test_incident_host_failure_crash_during_restore(capsys):
+    assert main([
+        "incident", "--jobs", "2", "--spares", "1", "--crash-during-restore",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "host-failure drill" in out
+    assert "crash armed at incident.restore" in out
+    assert "lost VMs: none" in out
+
+
 def test_demo_postcopy_always_flag(capsys):
     assert main(["demo", "--postcopy", "always"]) == 0
     out = capsys.readouterr().out
