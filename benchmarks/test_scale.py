@@ -1,0 +1,151 @@
+"""Scale campaign: continuous-arrival migration traffic at fleet size.
+
+Open Poisson traffic (churn / consolidation / maintenance drains) over a
+parameterized fat-tree, at three fleet sizes:
+
+* **64 VMs** (k=4, 16 hosts) — the small config; gated against the
+  committed throughput baseline (``baselines/scale_baseline.json``) so a
+  kernel regression fails CI;
+* **256 VMs** (k=8, 128 hosts) — measured on *both* flow-kernel arms:
+  the contention-scoped incremental solver must deliver ≥ 5× the
+  events/sec of the global-resolve kernel under identical traffic;
+* **1,024 VMs** (k=16, 1,024 hosts) — one full simulated hour of
+  continuous arrivals, the headline the roadmap asks for.
+
+Writes ``BENCH_scale.json`` (repo root) with events/sec, wall-clock per
+simulated hour, and solver p50/p99 per config.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.orchestrator.continuous import ScaleConfig, run_scale_scenario
+
+from benchmarks.conftest import run_once
+
+ARTIFACT = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+BASELINE = pathlib.Path(__file__).parent / "baselines" / "scale_baseline.json"
+
+#: Shared traffic shape: churn-dominated, mostly rack-local — the
+#: production pattern the contention-scoped solver is built for.
+_MIX = {"churn": 0.92, "consolidate": 0.04, "drain": 0.04}
+
+CONFIG_64 = ScaleConfig(
+    n_vms=64, k=4, vms_per_host=8, duration_s=600.0,
+    arrival_rate_per_s=4.0, max_concurrent=64,
+    rack_local_frac=0.9, mix=dict(_MIX), seed=7,
+)
+CONFIG_256 = ScaleConfig(
+    n_vms=256, k=8, vms_per_host=4, duration_s=600.0,
+    arrival_rate_per_s=20.0, max_concurrent=256,
+    rack_local_frac=0.9, mix=dict(_MIX), seed=7,
+)
+CONFIG_1024 = ScaleConfig(
+    n_vms=1024, k=16, vms_per_host=2, duration_s=3600.0,
+    arrival_rate_per_s=12.0, max_concurrent=256,
+    rack_local_frac=0.9, mix=dict(_MIX), seed=7,
+)
+
+
+def _update_artifact(key: str, value: dict) -> None:
+    data = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    data[key] = value
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _line(tag: str, r) -> str:
+    return (
+        f"  {tag:<16} {r.events_per_s:9.0f} ev/s  "
+        f"{r.wall_s_per_sim_hour:7.1f} s wall/sim-hour  "
+        f"solver p50={r.solver_p50_s * 1e6:6.1f} us p99={r.solver_p99_s * 1e6:6.1f} us  "
+        f"migrations={r.migrations_completed}"
+    )
+
+
+def test_scale_small_fleet_vs_baseline(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_scale_scenario(CONFIG_64))
+
+    assert result.migrations_completed > 1000
+    assert result.rejected + result.migrations_completed == result.moves_requested
+    assert result.duration_s >= CONFIG_64.duration_s
+
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["events_per_s_ref"] * (1.0 - baseline["max_regression_frac"])
+    assert result.events_per_s >= floor, (
+        f"scale kernel regressed: {result.events_per_s:.0f} ev/s is below the "
+        f"committed floor of {floor:.0f} ev/s ({BASELINE})"
+    )
+
+    _update_artifact("vms64", result.to_dict())
+    record_result(
+        "scale_64",
+        "\n".join([
+            "scale campaign — 64 VMs, k=4, 600 s of Poisson traffic",
+            _line("incremental", result),
+            f"  baseline floor   {floor:9.0f} ev/s",
+            f"[artifact: {ARTIFACT}]",
+        ]),
+    )
+
+
+def test_scale_256_speedup_vs_global_resolve(benchmark, record_result):
+    def both_arms():
+        incremental = run_scale_scenario(CONFIG_256)
+        legacy_cfg = ScaleConfig(**{**CONFIG_256.__dict__, "incremental": False})
+        legacy = run_scale_scenario(legacy_cfg)
+        return incremental, legacy
+
+    incremental, legacy = run_once(benchmark, both_arms)
+
+    # Identical traffic on both arms: the solvers must agree on outcomes.
+    assert incremental.moves_requested == legacy.moves_requested
+    assert incremental.migrations_completed == legacy.migrations_completed
+    assert incremental.flows_started == legacy.flows_started
+    assert incremental.bytes_moved == pytest.approx(legacy.bytes_moved, rel=1e-6)
+
+    speedup = incremental.events_per_s / legacy.events_per_s
+    assert speedup >= 5.0, (
+        f"incremental solver only {speedup:.1f}x the global-resolve kernel "
+        f"({incremental.events_per_s:.0f} vs {legacy.events_per_s:.0f} ev/s)"
+    )
+
+    _update_artifact("vms256", {
+        "incremental": incremental.to_dict(),
+        "global_resolve": legacy.to_dict(),
+        "speedup": speedup,
+    })
+    record_result(
+        "scale_256",
+        "\n".join([
+            "scale campaign — 256 VMs, k=8, 600 s, both kernel arms",
+            _line("incremental", incremental),
+            _line("global-resolve", legacy),
+            f"  speedup          {speedup:9.1f}x (floor 5.0x)",
+            f"[artifact: {ARTIFACT}]",
+        ]),
+    )
+
+
+def test_scale_1024_continuous_hour(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_scale_scenario(CONFIG_1024))
+
+    assert result.duration_s >= 3600.0
+    assert result.migrations_completed > 10_000
+    assert result.n_hosts == 1024
+    # The whole point of going incremental: a 1,024-VM hour must not cost
+    # an hour.  Generous bound — ~6 s locally, leave headroom for CI.
+    assert result.wall_s_per_sim_hour < 600.0
+
+    _update_artifact("vms1024_hour", result.to_dict())
+    record_result(
+        "scale_1024",
+        "\n".join([
+            "scale campaign — 1,024 VMs, k=16, one simulated hour",
+            _line("incremental", result),
+            f"[artifact: {ARTIFACT}]",
+        ]),
+    )

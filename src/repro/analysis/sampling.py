@@ -65,7 +65,7 @@ class ResourceSampler:
             sample.vcpus[name] = node.vcpu_count
         for fabric in (self.cluster.ib_fabric, self.cluster.eth_fabric):
             if fabric is not None:
-                sample.active_flows[fabric.name] = len(fabric.flows.active_flows)
+                sample.active_flows[fabric.name] = fabric.flows.active_count
         return sample
 
     # -- queries --------------------------------------------------------------------

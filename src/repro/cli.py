@@ -23,6 +23,14 @@
                            [--kill-host H] [--kill-at 12]
                            [--checkpoint-period 20] [--crash-during-restore]
                            [--trace-out PATH]
+    python -m repro scale  [--vms 256] [--k 8] [--vms-per-host 4]
+                           [--duration 600] [--rate 8] [--rack-local 0.9]
+                           [--max-concurrent 128] [--seed 0]
+                           [--global-solver] [--trace-out PATH]
+
+``demo``, ``fleet``, ``incident``, and ``scale`` also accept
+``--profile PATH``: the whole run executes under :mod:`cProfile` and the
+pstats dump lands at PATH (inspect with ``python -m pstats PATH``).
 
 Each command prints the paper-vs-simulated comparison the matching
 benchmark produces; ``demo`` runs one end-to-end fallback migration with
@@ -74,6 +82,12 @@ adds auto-converge throttling with postcopy escalation when precopy
 cannot converge, ``always`` switches over immediately.  The fleet's
 ``--viability-floor-gbps`` defers requests whose path has degraded below
 that bottleneck bandwidth until it heals.
+
+``scale`` runs the continuous-arrival campaign: open Poisson traffic
+(churn / consolidation / drains) over a k-ary fat-tree for hundreds to
+thousands of VMs, reporting simulator throughput (events/s), wall clock
+per simulated hour, and flow-solver p50/p99 — ``--global-solver``
+selects the pre-incremental kernel as the measured baseline arm.
 """
 
 from __future__ import annotations
@@ -473,6 +487,50 @@ def _cmd_incident(args: argparse.Namespace) -> int:
     return 0 if not result.lost_vms and result.failed == 0 else 1
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.orchestrator.continuous import ScaleConfig, run_scale_scenario
+    from repro.sim.trace import Tracer
+    from repro.units import fmt_bytes
+
+    config = ScaleConfig(
+        n_vms=args.vms,
+        k=args.k,
+        vms_per_host=args.vms_per_host,
+        duration_s=args.duration,
+        arrival_rate_per_s=args.rate,
+        rack_local_frac=args.rack_local,
+        max_concurrent=args.max_concurrent,
+        seed=args.seed,
+        incremental=not args.global_solver,
+    )
+    tracer = Tracer() if args.trace_out else None
+    result = run_scale_scenario(config, tracer=tracer)
+    arm = "global-resolve (baseline)" if args.global_solver else "incremental"
+    requests = ", ".join(f"{k}={v}" for k, v in sorted(result.requests.items()))
+    print(f"scale campaign — {result.n_vms} VMs on {result.n_hosts} hosts "
+          f"(k={result.k} fat-tree), {arm} solver")
+    print(f"  simulated:       {result.duration_s:.0f} s "
+          f"({sum(result.requests.values())} requests: {requests})")
+    print(f"  wall clock:      {result.wall_s:.2f} s "
+          f"({result.wall_s_per_sim_hour:.1f} s per simulated hour)")
+    print(f"  throughput:      {result.events_per_s:,.0f} events/s "
+          f"({result.sim_events:,} events)")
+    print(f"  migrations:      {result.migrations_completed} completed / "
+          f"{result.moves_requested} requested "
+          f"({result.rejected} rejected at cap, {result.starved} starved)")
+    rounds = (result.rounds_total / result.migrations_completed
+              if result.migrations_completed else 0.0)
+    print(f"  precopy:         {result.flows_started} flows, "
+          f"{rounds:.2f} rounds/migration, {fmt_bytes(result.bytes_moved)} moved")
+    print(f"  solver:          {result.solver_calls} calls, "
+          f"p50={result.solver_p50_s * 1e6:.1f} us, "
+          f"p99={result.solver_p99_s * 1e6:.1f} us, "
+          f"total={result.solver_total_s:.2f} s")
+    if tracer is not None:
+        _save_trace(tracer, args.trace_out)
+    return 0
+
+
 def _cmd_host_failure(args: argparse.Namespace) -> int:
     from repro.incident.scenario import run_host_failure_scenario
     from repro.sim.trace import Tracer
@@ -697,6 +755,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the simulation trace to PATH as JSON Lines",
     )
     pi.set_defaults(func=_cmd_incident)
+
+    ps = sub.add_parser(
+        "scale",
+        help="continuous-arrival fleet campaign on a fat-tree (100s-1000s of VMs)",
+    )
+    ps.add_argument("--vms", type=int, default=256, help="fleet size (default 256)")
+    ps.add_argument(
+        "--k", type=int, default=8,
+        help="fat-tree arity; k^3/4 hosts (default 8 = 128 hosts)",
+    )
+    ps.add_argument(
+        "--vms-per-host", type=int, default=4,
+        help="host slot capacity (leave free slots to migrate into)",
+    )
+    ps.add_argument(
+        "--duration", type=float, default=600.0, metavar="S",
+        help="simulated campaign length in seconds (default 600)",
+    )
+    ps.add_argument(
+        "--rate", type=float, default=8.0, metavar="R",
+        help="Poisson arrival rate, requests per simulated second",
+    )
+    ps.add_argument(
+        "--rack-local", type=float, default=0.9, metavar="F",
+        help="fraction of churn moves kept inside the source rack",
+    )
+    ps.add_argument(
+        "--max-concurrent", type=int, default=128,
+        help="admission cap on concurrent migrations",
+    )
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--global-solver", action="store_true",
+        help="use the pre-incremental global-resolve flow kernel (baseline arm)",
+    )
+    ps.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the simulation trace to PATH as JSON Lines",
+    )
+    ps.set_defaults(func=_cmd_scale)
+
+    # Long-running commands accept --profile for cProfile output.
+    for cmd_parser in (pd, pf, pi, ps):
+        cmd_parser.add_argument(
+            "--profile", metavar="PATH", dest="profile",
+            help="run under cProfile and dump pstats data to PATH "
+                 "(inspect with `python -m pstats PATH` or snakeviz)",
+        )
     return parser
 
 
@@ -724,7 +830,21 @@ def _add_degraded_path_flags(parser: argparse.ArgumentParser, default_link: str)
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profile_path = getattr(args, "profile", None)
+    if not profile_path:
+        return args.func(args)
+
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return args.func(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        print(f"wrote cProfile stats to {profile_path} "
+              f"(inspect with `python -m pstats {profile_path}`)")
 
 
 if __name__ == "__main__":  # pragma: no cover

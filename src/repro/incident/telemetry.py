@@ -161,7 +161,7 @@ class LinkTelemetryProbe:
         samples: List[TelemetrySample] = []
         goodput: Dict[str, float] = {}
         if self.fabric is not None:
-            for flow in self.fabric.flows.active_flows:
+            for flow in self.fabric.flows.iter_active():
                 for dlink in flow.path:
                     name = dlink.link.name
                     goodput[name] = goodput.get(name, 0.0) + flow.rate_Bps

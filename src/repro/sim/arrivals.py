@@ -1,0 +1,132 @@
+"""Open arrival processes: the request traffic of the scale campaign.
+
+The fleet experiments so far were *closed*: a fixed batch of migration
+requests is submitted at t=0 and the run ends when the batch drains.
+Capacity questions — how many concurrent migrations a fabric sustains,
+whether the solver keeps up over hours of churn — need an *open* system,
+where requests keep arriving while earlier ones are still in flight.
+
+An :class:`ArrivalProcess` is an iterator of :class:`Arrival` events
+(time + request kind), consumed by the continuous-traffic orchestrator
+(:mod:`repro.orchestrator.continuous`).  :class:`PoissonProcess` draws
+exponential inter-arrival gaps from a named RNG stream (deterministic
+per seed); :class:`TraceProcess` replays an explicit schedule, so a
+recorded production trace — or a worst-case burst crafted by hand — runs
+through the same machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request arrival: when, and what kind of work."""
+
+    time: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+
+class ArrivalProcess:
+    """Base: an ordered, finite stream of :class:`Arrival` events."""
+
+    def events(self) -> Iterator[Arrival]:
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals with a categorical kind mix.
+
+    Parameters
+    ----------
+    rng:
+        A ``numpy`` generator — pass a named stream from
+        :class:`~repro.sim.rng.RngRegistry` so arrival noise never
+        perturbs placement or workload randomness.
+    rate_per_s:
+        Mean arrivals per simulated second (the open-system load knob).
+    horizon_s:
+        Arrivals strictly before this time; the stream then ends.
+    mix:
+        ``kind → weight`` (normalized internally); default all-``churn``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rate_per_s: float,
+        horizon_s: float,
+        mix: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        weights = dict(mix) if mix else {"churn": 1.0}
+        total = float(sum(weights.values()))
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ValueError("mix weights must be non-negative with a positive sum")
+        self.rng = rng
+        self.rate_per_s = float(rate_per_s)
+        self.horizon_s = float(horizon_s)
+        self._kinds = list(weights)
+        self._cdf = np.cumsum([w / total for w in weights.values()])
+
+    def events(self) -> Iterator[Arrival]:
+        mean_gap = 1.0 / self.rate_per_s
+        t = 0.0
+        while True:
+            t += float(self.rng.exponential(mean_gap))
+            if t >= self.horizon_s:
+                return
+            idx = int(np.searchsorted(self._cdf, self.rng.random(), side="right"))
+            yield Arrival(t, self._kinds[min(idx, len(self._kinds) - 1)])
+
+
+class TraceProcess(ArrivalProcess):
+    """Replay an explicit arrival schedule.
+
+    Accepts :class:`Arrival` objects or ``(time, kind)`` /
+    ``(time, kind, fields)`` tuples; entries are sorted by time.
+    """
+
+    def __init__(
+        self, entries: Iterable[Union[Arrival, Tuple[float, str], Tuple[float, str, dict]]]
+    ) -> None:
+        arrivals: List[Arrival] = []
+        for entry in entries:
+            if not isinstance(entry, Arrival):
+                time, kind = entry[0], entry[1]
+                fields = entry[2] if len(entry) > 2 else {}
+                entry = Arrival(float(time), str(kind), dict(fields))
+            if entry.time < 0:
+                raise ValueError(f"arrival time must be non-negative, got {entry.time}")
+            arrivals.append(entry)
+        self._arrivals = sorted(arrivals, key=lambda a: a.time)
+
+    def events(self) -> Iterator[Arrival]:
+        return iter(self._arrivals)
+
+
+def merge(*processes: ArrivalProcess) -> Iterator[Arrival]:
+    """Merge several processes into one time-ordered stream.
+
+    Lets a scenario overlay a steady Poisson background with a scripted
+    incident burst without either knowing about the other.
+    """
+    return heapq.merge(*(p.events() for p in processes), key=lambda a: a.time)
+
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "TraceProcess",
+    "merge",
+]

@@ -29,6 +29,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Events processed so far (monotonic; the scale campaign's
+        #: events/sec throughput metric reads deltas of this).
+        self.events_processed = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -92,6 +95,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events left") from None
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive

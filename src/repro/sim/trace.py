@@ -59,6 +59,11 @@ class Tracer:
         self.records: list[TraceRecord] = []
         # (pattern, callback) pairs; patterns glob against "category.event".
         self._subscribers: list[tuple[str, Callable[[TraceRecord], None]]] = []
+        # topic -> matching callbacks, amortizing the fnmatch scan across
+        # the many records hot producers emit under one topic (per-round
+        # migration stats, per-tick probe samples).  Invalidated whenever
+        # the subscriber list changes.
+        self._topic_cache: dict[str, tuple[Callable[[TraceRecord], None], ...]] = {}
 
     def subscribe(
         self, pattern: str, callback: Callable[[TraceRecord], None]
@@ -73,12 +78,15 @@ class Tracer:
         """
         entry = (pattern, callback)
         self._subscribers.append(entry)
+        self._topic_cache.clear()
 
         def unsubscribe() -> None:
             try:
                 self._subscribers.remove(entry)
             except ValueError:
                 pass  # already unsubscribed
+            else:
+                self._topic_cache.clear()
 
         return unsubscribe
 
@@ -124,10 +132,20 @@ class Tracer:
 
     def _dispatch(self, record: TraceRecord) -> None:
         topic = f"{record.category}.{record.event}"
-        # Snapshot: a callback may unsubscribe (itself or others) mid-dispatch.
-        for pattern, callback in list(self._subscribers):
-            if fnmatchcase(topic, pattern):
-                callback(record)
+        callbacks = self._topic_cache.get(topic)
+        if callbacks is None:
+            # First record under this topic since the subscriber list last
+            # changed: run the glob scan once and cache the match set.  A
+            # callback that unsubscribes mid-dispatch clears the cache, and
+            # the cached tuple is a snapshot, so dispatch stays safe.
+            callbacks = tuple(
+                callback
+                for pattern, callback in self._subscribers
+                if fnmatchcase(topic, pattern)
+            )
+            self._topic_cache[topic] = callbacks
+        for callback in callbacks:
+            callback(record)
 
     def select(
         self, category: Optional[str] = None, event: Optional[str] = None
@@ -186,31 +204,39 @@ class Tracer:
         """Drop all collected records."""
         self.records.clear()
 
-    def to_jsonl(self) -> str:
-        """Serialize all records as JSON Lines (one record per line)."""
+    def iter_jsonl(self) -> Iterator[str]:
+        """Yield each record as one JSON line (no trailing newline)."""
         import json
 
-        lines = []
         for record in self.records:
-            lines.append(
-                json.dumps(
-                    {
-                        "time": record.time,
-                        "category": record.category,
-                        "event": record.event,
-                        **{k: _jsonable(v) for k, v in record.fields.items()},
-                    },
-                    sort_keys=True,
-                )
+            yield json.dumps(
+                {
+                    "time": record.time,
+                    "category": record.category,
+                    "event": record.event,
+                    **{k: _jsonable(v) for k, v in record.fields.items()},
+                },
+                sort_keys=True,
             )
-        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """Serialize all records as JSON Lines (one record per line).
+
+        Materializes the whole trace in memory; prefer :meth:`save` (which
+        streams record-by-record to the file handle) for large traces.
+        """
+        return "\n".join(self.iter_jsonl())
 
     def save(self, path: str) -> int:
-        """Write all records to ``path`` as JSON Lines; returns the count."""
-        text = self.to_jsonl()
+        """Write all records to ``path`` as JSON Lines; returns the count.
+
+        Streams one line at a time so a multi-hour trace never needs a
+        second full copy of itself as one giant string.
+        """
         with open(path, "w", encoding="utf-8") as fh:
-            if text:
-                fh.write(text + "\n")
+            for line in self.iter_jsonl():
+                fh.write(line)
+                fh.write("\n")
         return len(self.records)
 
     def __len__(self) -> int:

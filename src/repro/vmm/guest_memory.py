@@ -138,6 +138,22 @@ class GuestMemory:
         dup = counts[PageClass.ZERO] + counts[PageClass.UNIFORM]
         return dup, counts[PageClass.DATA]
 
+    def round_accounting(self, mask: Optional[np.ndarray] = None) -> tuple[int, int, int]:
+        """(pages, compressible pages, full-transfer pages) under ``mask``.
+
+        One fused pass for the migration hot loop: a weighted bincount over
+        the class array avoids materializing the boolean-indexed copy that
+        :meth:`class_counts` takes, and the page total falls out of the
+        same counts instead of a second ``mask.sum()`` scan.
+        """
+        if mask is None:
+            counts = np.bincount(self._class, minlength=3)
+        else:
+            counts = np.bincount(self._class, weights=mask, minlength=3).astype(np.int64)
+        dup = int(counts[PageClass.ZERO]) + int(counts[PageClass.UNIFORM])
+        data = int(counts[PageClass.DATA])
+        return dup + data, dup, data
+
     @property
     def data_bytes(self) -> int:
         """Bytes living in non-compressible pages (the real footprint)."""

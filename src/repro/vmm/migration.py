@@ -203,11 +203,18 @@ class MigrationJob:
             return self.policy.max_iterations
         return self.calibration.max_precopy_rounds
 
-    def _round_cost(self, mask: Optional[np.ndarray]) -> tuple[int, int, float, float]:
-        """(dup_pages, data_pages, wire_bytes, cpu_seconds) for a round."""
+    def _round_cost(
+        self, mask: Optional[np.ndarray]
+    ) -> tuple[int, int, int, float, float]:
+        """(pages, dup_pages, data_pages, wire_bytes, cpu_seconds) for a round.
+
+        One fused bincount over the page-class array (see
+        :meth:`~repro.vmm.guest_memory.GuestMemory.round_accounting`); the
+        page total rides along so callers never re-scan the mask.
+        """
         cal = self.calibration
         memory = self.qemu.vm.memory
-        dup, data = memory.dup_and_data_pages(mask)
+        npages, dup, data = memory.round_accounting(mask)
         wire = dup * cal.dup_page_wire_bytes + data * (memory.page_size + cal.page_header_bytes)
         if self.rdma:
             # RDMA path: scan still costs memory bandwidth, transfer is
@@ -218,7 +225,7 @@ class MigrationJob:
                 dup * memory.page_size / cal.page_scan_Bps
                 + data * memory.page_size / self._transfer_cap_Bps
             )
-        return dup, data, wire, cpu_seconds
+        return npages, dup, data, wire, cpu_seconds
 
     def _transfer(
         self,
@@ -326,10 +333,17 @@ class MigrationJob:
         no_progress = 0
         go_postcopy = policy.postcopy == "always"
 
+        #: Cost of the upcoming round, when the convergence check at the
+        #: bottom of the loop already priced the same dirty mask (the
+        #: estimate and the next round's cost are one computation).
+        pending_cost: Optional[tuple[int, int, int, float, float]] = None
+
         while not go_postcopy:
             for round_index in range(self._max_rounds + 2):
-                npages = memory.npages if mask is None else int(mask.sum())
-                dup, data, wire, cpu_seconds = self._round_cost(mask)
+                if pending_cost is None:
+                    pending_cost = self._round_cost(mask)
+                npages, dup, data, wire, cpu_seconds = pending_cost
+                pending_cost = None
                 t_round = self.env.now
                 if npages > 0:
                     flow = self._transfer(wire, cpu_seconds)
@@ -364,18 +378,18 @@ class MigrationJob:
                     # Parked guest but pages dirtied before the park landed:
                     # one more (still quiescent) pass.
                     mask = memory.snapshot_dirty()
-                    self.received &= ~mask
+                    np.copyto(self.received, False, where=mask)
                     if not mask.any():
                         break
                     continue
 
                 # Guest still running: decide whether to enter stop-and-copy.
                 mask = memory.snapshot_dirty()
-                self.received &= ~mask
-                remaining = int(mask.sum())
+                np.copyto(self.received, False, where=mask)
+                pending_cost = self._round_cost(mask)
+                remaining, _, _, _, est_cpu = pending_cost
                 if remaining == 0:
                     break
-                _, _, est_wire, est_cpu = self._round_cost(mask)
                 est_time = max(est_cpu, 0.0)
                 round_stats.est_downtime_s = est_time
 
@@ -475,7 +489,7 @@ class MigrationJob:
         # Device state + CPU state blob travels with the switchover.
         yield self.env.timeout(0.02)
         final_dirty = memory.snapshot_dirty()
-        self.received &= ~final_dirty
+        np.copyto(self.received, False, where=final_dirty)
         memory.stop_dirty_logging()
         self._origin_node = self.qemu.node
         self.qemu.relocate(self.dst_node)
@@ -512,7 +526,7 @@ class MigrationJob:
             chunk_idx = missing[:chunk_pages]
             chunk_mask = np.zeros(memory.npages, dtype=bool)
             chunk_mask[chunk_idx] = True
-            dup, data, wire, cpu_seconds = self._round_cost(chunk_mask)
+            _, dup, data, wire, cpu_seconds = self._round_cost(chunk_mask)
             try:
                 flow = self._transfer(wire, cpu_seconds, src_node=self._origin_node)
                 yield flow.done

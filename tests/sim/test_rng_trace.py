@@ -227,3 +227,27 @@ def test_emit_batch_empty_is_fine():
     tracer = Tracer()
     assert tracer.emit_batch(0.0, "c", []) == 0
     assert len(tracer) == 0
+
+
+def test_tracer_save_streams_identical_to_jsonl(tmp_path):
+    tracer = Tracer()
+    tracer.emit(1.0, "a", "x", n=1)
+    tracer.emit(2.0, "b", "y", hosts=["h0", "h1"])
+    path = tmp_path / "out.jsonl"
+    assert tracer.save(path) == 2
+    assert path.read_text() == tracer.to_jsonl() + "\n"
+
+
+def test_tracer_save_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert Tracer().save(path) == 0
+    assert path.read_text() == ""
+
+
+def test_tracer_iter_jsonl_is_lazy():
+    tracer = Tracer()
+    tracer.emit(1.0, "a", "x")
+    it = tracer.iter_jsonl()
+    tracer.emit(2.0, "a", "y")
+    # Generator observes records appended before iteration finishes.
+    assert len(list(it)) == 2

@@ -222,3 +222,40 @@ def test_fleet_degraded_path_flags(capsys):
     out = capsys.readouterr().out
     assert "fleet drain" in out
     assert "completed" in out
+
+
+def test_scale_command(capsys, tmp_path):
+    trace = tmp_path / "scale.jsonl"
+    assert main([
+        "scale", "--vms", "16", "--k", "4", "--vms-per-host", "4",
+        "--duration", "60", "--rate", "2", "--seed", "3",
+        "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scale campaign" in out
+    assert "incremental solver" in out
+    assert "events/s" in out
+    assert "solver:" in out
+    assert trace.exists()
+
+
+def test_scale_global_solver_arm(capsys):
+    assert main([
+        "scale", "--vms", "16", "--k", "4", "--vms-per-host", "4",
+        "--duration", "60", "--rate", "2", "--seed", "3", "--global-solver",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "global-resolve (baseline) solver" in out
+
+
+def test_profile_flag_dumps_stats(capsys, tmp_path):
+    import pstats
+
+    prof = tmp_path / "demo.prof"
+    assert main(["demo", "--profile", str(prof)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote cProfile stats" in out
+    assert prof.exists()
+    # The dump must be loadable and non-trivial.
+    stats = pstats.Stats(str(prof))
+    assert stats.total_calls > 100
